@@ -1,0 +1,29 @@
+# Convenience targets for the reproduction.
+
+.PHONY: install test bench bench-tiny experiments examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-tiny:
+	REPRO_BENCH_TINY=1 pytest benchmarks/ --benchmark-only
+
+experiments: bench
+	python scripts/build_experiments_md.py
+
+examples:
+	python examples/quickstart.py
+	python examples/moderation_service.py
+	python examples/threat_intel_report.py
+	python examples/campaign_escalation_study.py
+	python examples/live_monitoring.py
+
+clean:
+	rm -rf build src/repro.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

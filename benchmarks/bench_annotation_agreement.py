@@ -1,0 +1,80 @@
+"""§5.3 — inter-annotator agreement of the simulated annotation ecosystem."""
+
+import numpy as np
+
+from repro.annotation.agreement import expert_pair_agreement
+from repro.annotation.annotator import EXPERT_PROFILE, SimulatedAnnotator
+from repro.types import Task
+from repro.util.rng import child_rng
+from repro.util.tables import format_table
+
+
+def test_annotation_agreement(benchmark, study, report_sink):
+    stats = {task: study.results[task].annotation_stats for task in Task}
+
+    # Paper: crowd kappa 0.519 (dox) vs 0.350 (CTH); disagreement 3.94% vs
+    # 18.66%.  Shape: dox agreement clearly higher.
+    assert stats[Task.DOX].kappa > stats[Task.CTH].kappa
+    assert stats[Task.DOX].disagreement_rate < stats[Task.CTH].disagreement_rate
+    assert 0.15 < stats[Task.CTH].kappa < 0.60
+    assert 0.40 < stats[Task.DOX].kappa < 0.85
+
+    # Expert review of 1,000 predicted positives (paper: kappa 0.893/0.845).
+    rng = child_rng(23, "expert-agreement")
+
+    def expert_kappas():
+        out = {}
+        for task in Task:
+            # The paper's dual-expert review ran over 1,000 documents
+            # *predicted* as positive (step 7 of Fig. 1).  Kappa depends
+            # strongly on that pool's positive base rate: the paper's
+            # review precision was ~0.64-0.86, while our classifier is
+            # more precise (base rate up to 0.99), which mechanically
+            # depresses kappa even with more accurate annotators.  We
+            # therefore report both the raw pool and a pool mixed to the
+            # paper's review base rate (~0.85) — the matched-rate kappa is
+            # the equivalence check.
+            result = study.results[task]
+            candidates = np.flatnonzero(result.scores > 0.35)
+            sample = rng.choice(candidates, size=min(1000, candidates.size), replace=False)
+            truths = np.array(
+                [result.documents[int(i)].truth_for(task) for i in sample]
+            )
+            a = SimulatedAnnotator(31, EXPERT_PROFILE, seed=1)
+            b = SimulatedAnnotator(32, EXPERT_PROFILE, seed=2)
+            raw = expert_pair_agreement(truths, a, b)
+            # Matched-base-rate pool: keep all false positives, subsample
+            # true positives so positives are ~85% of the pool.
+            pos_idx = np.flatnonzero(truths)
+            neg_idx = np.flatnonzero(~truths)
+            if neg_idx.size:
+                keep_pos = min(pos_idx.size, int(neg_idx.size * 0.85 / 0.15))
+                mixed = np.concatenate([neg_idx, pos_idx[:keep_pos]])
+                matched = expert_pair_agreement(truths[mixed], a, b)
+            else:
+                matched = raw
+            out[task] = (raw, matched)
+        return out
+
+    experts = benchmark.pedantic(expert_kappas, rounds=1, iterations=1)
+    for task in Task:
+        raw, matched = experts[task]
+        assert matched.kappa > 0.6  # strong agreement at the paper's base rate
+
+    rows = [
+        ("crowd kappa (dox)", f"{stats[Task.DOX].kappa:.3f}", "0.519"),
+        ("crowd kappa (CTH)", f"{stats[Task.CTH].kappa:.3f}", "0.350"),
+        ("crowd disagreement (dox)", f"{stats[Task.DOX].disagreement_rate * 100:.2f}%", "3.94%"),
+        ("crowd disagreement (CTH)", f"{stats[Task.CTH].disagreement_rate * 100:.2f}%", "18.66%"),
+        ("expert kappa, raw pool (dox)", f"{experts[Task.DOX][0].kappa:.3f}", "-"),
+        ("expert kappa, matched base rate (dox)", f"{experts[Task.DOX][1].kappa:.3f}", "0.893"),
+        ("expert kappa, raw pool (CTH)", f"{experts[Task.CTH][0].kappa:.3f}", "-"),
+        ("expert kappa, matched base rate (CTH)", f"{experts[Task.CTH][1].kappa:.3f}", "0.845"),
+        ("documents crowd-annotated (dox)", str(stats[Task.DOX].n_documents), "79,000+ (paper scale)"),
+        ("documents crowd-annotated (CTH)", str(stats[Task.CTH].n_documents), "25,000+ (paper scale)"),
+    ]
+    report_sink(
+        "annotation_agreement",
+        format_table(["Quantity", "measured", "paper"], rows,
+                     title="Annotation agreement (§5.3)"),
+    )

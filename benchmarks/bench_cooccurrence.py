@@ -1,0 +1,39 @@
+"""§6.2 — co-occurrence of attack types within single calls."""
+
+from repro.analysis.cooccurrence import attack_cooccurrence
+from repro.taxonomy.attack_types import AttackType
+from repro.util.tables import format_table
+
+
+def test_attack_cooccurrence(benchmark, study, report_sink):
+    stats = benchmark(attack_cooccurrence, study.coded_cth)
+
+    # Paper: 13% multi-type; of those 92.3% have exactly two types.
+    assert 0.04 < stats.multi_type_share < 0.30
+    histogram = stats.type_count_histogram
+    multi = {n: c for n, c in histogram.items() if n > 1}
+    assert multi and max(multi, key=multi.get) == 2
+    # Surveillance co-occurs with content leakage (paper: 64%).
+    surveillance_rate = stats.conditional(
+        AttackType.SURVEILLANCE, AttackType.CONTENT_LEAKAGE
+    )
+    assert surveillance_rate > 0.35
+    # Impersonation co-occurs with public opinion manipulation (paper: 30%).
+    impersonation_rate = stats.conditional(
+        AttackType.IMPERSONATION, AttackType.PUBLIC_OPINION_MANIPULATION
+    )
+    assert impersonation_rate > 0.12
+
+    rows = [
+        ("multi-type share", f"{stats.multi_type_share * 100:.1f}%", "13%"),
+        ("two types (of multi)", str(multi.get(2, 0)), "767 (92.3%)"),
+        ("three types", str(multi.get(3, 0)), "54"),
+        ("four+ types", str(sum(c for n, c in multi.items() if n >= 4)), "10"),
+        ("P(leakage | surveillance)", f"{surveillance_rate * 100:.0f}%", "64%"),
+        ("P(POM | impersonation)", f"{impersonation_rate * 100:.0f}%", "30%"),
+    ]
+    report_sink(
+        "cooccurrence",
+        format_table(["Quantity", "measured", "paper"], rows,
+                     title="Attack-type co-occurrence (§6.2)"),
+    )

@@ -1,0 +1,28 @@
+"""§5.6 — accuracy of the PII regexes and the pronoun-gender method."""
+
+from repro.extraction.gender import evaluate_gender_inference
+from repro.extraction.pii import evaluate_extractors
+from repro.util.tables import format_table
+
+
+def test_extraction_accuracy(benchmark, study, report_sink):
+    doxes = study.annotated_doxes
+    accuracy = benchmark.pedantic(
+        evaluate_extractors, args=(doxes,), rounds=1, iterations=1
+    )
+    # Paper: every regex >= 95% accurate; 7 of 12 at 100%.
+    assert all(acc >= 0.95 for acc in accuracy.values())
+    perfect = sum(1 for acc in accuracy.values() if acc >= 0.999)
+    assert perfect >= 5
+
+    gender = evaluate_gender_inference(doxes + [c.document for c in study.coded_cth])
+    # Paper: pronoun-majority gender matches the target 94.3% of the time.
+    assert 0.88 <= gender["accuracy"] <= 1.0
+
+    rows = [(cat, f"{acc * 100:.1f}%", ">=95%") for cat, acc in sorted(accuracy.items())]
+    rows.append(("gender (pronoun majority)", f"{gender['accuracy'] * 100:.1f}%", "94.3%"))
+    report_sink(
+        "extraction_accuracy",
+        format_table(["Extractor", "measured", "paper"], rows,
+                     title="Extraction accuracy (§5.6)"),
+    )

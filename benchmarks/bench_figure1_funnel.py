@@ -1,0 +1,19 @@
+"""Figure 1 — document counts at every stage of both pipelines."""
+
+from repro.reporting.tables import render_figure1
+from repro.types import Task
+
+
+def test_figure1_funnel(benchmark, study, report_sink):
+    funnels = benchmark(
+        lambda: {task: study.results[task].funnel() for task in Task}
+    )
+    for task in Task:
+        funnel = funnels[task]
+        assert funnel["true_positive"] <= funnel["sampled"]
+        assert funnel["sampled"] <= funnel["above_threshold"]
+        assert funnel["above_threshold"] < funnel["raw_documents"]
+    # Headline: 14,679 detected posts at paper scale -> ~7,340 at ours.
+    total_tp = sum(funnels[task]["true_positive"] for task in Task)
+    assert total_tp > 1000
+    report_sink("figure1_funnel", render_figure1(study.results))

@@ -1,0 +1,25 @@
+"""Figure 2 — overlap between harm-risk categories over annotated doxes."""
+
+from repro.analysis.harm_risk_stats import (
+    harm_risk_overlap,
+    no_risk_share_for_source,
+    reputation_alone_share,
+)
+from repro.reporting.figures import render_figure2
+from repro.taxonomy.harm_risk import HarmRisk
+from repro.types import Platform, Source
+
+
+def test_figure2_harm_overlap(benchmark, study, report_sink):
+    overlap = benchmark(harm_risk_overlap, study.annotated_doxes)
+    # Paper Fig. 2 totals ordering: online largest, economic smallest.
+    totals = overlap.totals
+    assert totals[HarmRisk.ONLINE] >= totals[HarmRisk.ECONOMIC]
+    assert totals[HarmRisk.PHYSICAL] >= totals[HarmRisk.ECONOMIC] * 0.9
+    # 11.5% of doxes carry all four risks; ~73% of those from pastes.
+    assert 0.03 < overlap.all_four_share < 0.30
+    assert overlap.all_four_pastes_share > 0.45
+    # §7.2 detail findings.
+    assert no_risk_share_for_source(study.annotated_doxes, Source.DISCORD) > 0.35
+    assert 0.05 < reputation_alone_share(study.annotated_doxes, Platform.CHAT) < 0.45
+    report_sink("figure2_harm_overlap", render_figure2(overlap))

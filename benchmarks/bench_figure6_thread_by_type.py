@@ -1,0 +1,26 @@
+"""Figure 6 — thread response volume per attack type (box summary)."""
+
+from repro.analysis.threads import baseline_board_posts, response_sizes
+from repro.reporting.figures import render_box_summary
+from repro.types import Platform
+
+
+def test_figure6_thread_by_type(benchmark, study, report_sink):
+    corpus = study.corpus
+
+    def sizes_by_type():
+        grouped: dict[str, list[float]] = {}
+        for coded in study.coded_cth:
+            doc = coded.document
+            if doc.platform is not Platform.BOARDS or doc.thread_id is None:
+                continue
+            responses = corpus.thread(doc.thread_id).responses_after(doc.position)
+            for parent in coded.parents:
+                grouped.setdefault(parent.value, []).append(float(responses))
+        return grouped
+
+    grouped = benchmark(sizes_by_type)
+    baseline = baseline_board_posts(corpus, 2_000, seed=17)
+    grouped["Baseline"] = response_sizes(corpus, baseline).tolist()
+    assert len(grouped) >= 5
+    report_sink("figure6_thread_by_type", render_box_summary(grouped))

@@ -1,0 +1,40 @@
+"""§6.3 — thread-level overlap of above-threshold CTHs and doxes, plus the
+'detected by both pipelines' headline."""
+
+from repro.analysis.cooccurrence import thread_overlap
+from repro.types import Source, Task
+from repro.util.tables import format_table
+
+
+def test_thread_overlap(benchmark, study, report_sink):
+    corpus = study.corpus
+    cth_above = study.results[Task.CTH].above_threshold_documents(Source.BOARDS)
+    dox_above = study.results[Task.DOX].above_threshold_documents(Source.BOARDS)
+
+    overlap = benchmark(thread_overlap, corpus, cth_above, dox_above)
+
+    # Paper: 8.53% of CTHs share a thread with a dox; 17.85% of dox threads
+    # contain a CTH; both far above the random-thread base rates.
+    assert overlap.cth_with_dox_share > overlap.random_thread_dox_share
+    assert overlap.dox_thread_with_cth_share > overlap.random_thread_cth_share
+    # Paper ordering (17.85% vs 8.53%), with slack for dense small corpora.
+    assert overlap.dox_thread_with_cth_share >= overlap.cth_with_dox_share * 0.9
+
+    # Documents detected by both pipelines (paper: 95 of 14,679).
+    cth_ids = {d.doc_id for d in study.above_threshold(Task.CTH)}
+    both = sum(1 for d in study.above_threshold(Task.DOX) if d.doc_id in cth_ids)
+    total_tp = sum(study.results[t].n_true_positive_total for t in Task)
+    assert 0 < both < total_tp * 0.1
+
+    rows = [
+        ("CTH sharing thread with dox", f"{overlap.cth_with_dox_share * 100:.2f}%", "8.53%"),
+        ("Dox threads containing CTH", f"{overlap.dox_thread_with_cth_share * 100:.2f}%", "17.85%"),
+        ("Random thread has CTH", f"{overlap.random_thread_cth_share * 100:.2f}%", "0.20%"),
+        ("Random thread has dox", f"{overlap.random_thread_dox_share * 100:.2f}%", "0.10%"),
+        ("Detected by both pipelines", str(both), "95"),
+    ]
+    report_sink(
+        "overlap",
+        format_table(["Quantity", "measured", "paper"], rows,
+                     title="CTH x dox overlap (boards, above threshold)"),
+    )

@@ -1,0 +1,31 @@
+"""§7.1 — PII co-occurrence inside doxes."""
+
+from repro.analysis.pii_stats import pii_cooccurrence
+from repro.util.tables import format_table
+
+
+def test_pii_cooccurrence(benchmark, study, report_sink):
+    stats = benchmark(pii_cooccurrence, study.annotated_doxes)
+
+    # Paper: addresses/phones/emails co-occur with every other PII type
+    # more than 35% of the time.
+    for core in ("address", "phone", "email"):
+        assert stats.min_conditional(core) > 0.30, core
+    # Facebook-bearing doxes carry emails more often than YouTube-bearing
+    # ones do (paper: 39% vs <15%-band comparisons).
+    fb_email = stats.conditional("facebook", "email")
+    assert fb_email > 0.25
+
+    rows = [
+        ("min P(address | other)", f"{stats.min_conditional('address') * 100:.0f}%", ">35%"),
+        ("min P(phone | other)", f"{stats.min_conditional('phone') * 100:.0f}%", ">35%"),
+        ("min P(email | other)", f"{stats.min_conditional('email') * 100:.0f}%", ">35%"),
+        ("P(email | facebook)", f"{fb_email * 100:.0f}%", "39%"),
+        ("P(phone | facebook)", f"{stats.conditional('facebook', 'phone') * 100:.0f}%", "25%"),
+        ("P(address | facebook)", f"{stats.conditional('facebook', 'address') * 100:.0f}%", "24%"),
+    ]
+    report_sink(
+        "pii_cooccurrence",
+        format_table(["Quantity", "measured", "paper"], rows,
+                     title="PII co-occurrence in doxes (§7.1)"),
+    )

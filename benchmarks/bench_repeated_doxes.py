@@ -1,0 +1,35 @@
+"""§7.3 — repeated doxes linked by shared social-media handles."""
+
+from repro.analysis.repeated import repeated_dox_analysis
+from repro.types import Platform, Task
+from repro.util.tables import format_table
+
+
+def test_repeated_doxes(benchmark, study, report_sink):
+    docs = list(study.above_threshold(Task.DOX))
+    stats = benchmark.pedantic(repeated_dox_analysis, args=(docs,), rounds=1, iterations=1)
+
+    # Paper: 20.1% of above-threshold doxes repeat a target; 98% stay on
+    # one data set; pastes hold ~90% of the repeats.
+    assert 0.08 < stats.repeated_share < 0.40
+    assert stats.same_platform_share > 0.90
+    by_platform = stats.repeated_by_platform
+    assert by_platform.get(Platform.PASTES, 0) == max(by_platform.values())
+    pastes_share = by_platform.get(Platform.PASTES, 0) / max(stats.repeated_count, 1)
+    assert pastes_share > 0.6
+
+    rows = [
+        ("above-threshold doxes", str(stats.n_documents), "70,820 (paper scale)"),
+        ("repeated", f"{stats.repeated_count} ({stats.repeated_share * 100:.1f}%)", "14,587 (20.1%)"),
+        ("same data set", f"{stats.same_platform_share * 100:.1f}%", "98%"),
+        ("cross-posted", str(stats.cross_posted_count), "250"),
+        ("on pastes", f"{pastes_share * 100:.1f}%", "89.6%"),
+        ("on boards", str(by_platform.get(Platform.BOARDS, 0)), "1,402"),
+        ("on chat", str(by_platform.get(Platform.CHAT, 0)), "62"),
+        ("on gab", str(by_platform.get(Platform.GAB, 0)), "47"),
+    ]
+    report_sink(
+        "repeated_doxes",
+        format_table(["Quantity", "measured", "paper"], rows,
+                     title="Repeated doxes (§7.3)"),
+    )

@@ -1,0 +1,22 @@
+"""Table 10 — attack subtypes per pronoun-inferred target gender."""
+
+from repro.analysis.gender_stats import gender_subtype_table, private_reputation_gender_test
+from repro.reporting.tables import render_table10
+from repro.taxonomy.attack_types import AttackSubtype
+from repro.types import Gender
+
+
+def test_table10_gender(benchmark, study, report_sink):
+    table = benchmark(gender_subtype_table, study.coded_cth)
+    # Paper §6.2 gender split: male > female, large unknown fraction.
+    assert table.sizes[Gender.MALE] > table.sizes[Gender.FEMALE]
+    assert table.sizes[Gender.UNKNOWN] > 0
+    # Headline gender difference: private reputational harm skews female
+    # (7.5% vs 2.98%), and the chi-square test finds it.
+    female = table.share(AttackSubtype.REPUTATIONAL_HARM_PRIVATE, Gender.FEMALE)
+    male = table.share(AttackSubtype.REPUTATIONAL_HARM_PRIVATE, Gender.MALE)
+    assert female > male
+    result = private_reputation_gender_test(table)
+    if table.sizes[Gender.FEMALE] >= 400:  # the test is underpowered below
+        assert result.p_value < 0.05
+    report_sink("table10_gender", render_table10(table))

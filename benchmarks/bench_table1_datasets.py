@@ -1,0 +1,13 @@
+"""Table 1 — raw data set sizes and date ranges.
+
+Regenerates the corpus summary and compares platform volumes and date
+ranges to the paper (counts at the DESIGN.md scaling convention).
+"""
+
+from repro.reporting.tables import render_table1
+
+
+def test_table1_datasets(benchmark, study, report_sink):
+    table = benchmark(study.corpus.counts_by_platform)
+    assert all(count > 0 for count in table.values())
+    report_sink("table1_datasets", render_table1(study.corpus))

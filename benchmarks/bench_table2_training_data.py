@@ -1,0 +1,21 @@
+"""Table 2 — crowdsourced training-set sizes per task and platform."""
+
+from repro.reporting.tables import render_table2
+from repro.types import Task
+
+
+def test_table2_training_data(benchmark, study, report_sink):
+    def training_totals():
+        return {
+            task: tuple(
+                sum(x[i] for x in study.results[task].training_data_sizes.values())
+                for i in (0, 1)
+            )
+            for task in Task
+        }
+
+    totals = benchmark(training_totals)
+    for task in Task:
+        pos, neg = totals[task]
+        assert pos > 0 and neg > pos  # negatives dominate, as in the paper
+    report_sink("table2_training_data", render_table2(study.results))

@@ -1,0 +1,29 @@
+"""Table 3 — classifier performance per task.
+
+Compares the pipelines' held-out evaluation reports to the paper's, and
+checks the paper's headline ordering: the dox task beats the CTH task on
+positive-class F1, while both negative classes stay near-perfect.
+"""
+
+from repro.reporting.tables import render_table3
+from repro.types import Task
+
+
+def test_table3_classifier_perf(benchmark, study, report_sink):
+    def positive_f1s():
+        return {
+            task: study.results[task].eval_report["positive"]["f1"] for task in Task
+        }
+
+    f1s = benchmark(positive_f1s)
+    # Shape: dox easier than CTH (paper 0.76 vs 0.63).
+    assert f1s[Task.DOX] > f1s[Task.CTH]
+    for task in Task:
+        report = study.results[task].eval_report
+        # The paper's negative F1 is 0.97-0.99 because its annotation pool
+        # is overwhelmingly negative; our decile-sampled pool carries a far
+        # higher positive fraction (scale artifact), so the bar is lower.
+        assert report["negative"]["f1"] > 0.85
+        assert report["positive"]["f1"] < report["negative"]["f1"]
+        assert report["weighted_avg"]["f1"] > report["macro_avg"]["f1"] * 0.99
+    report_sink("table3_classifier_perf", render_table3(study.results))

@@ -1,0 +1,18 @@
+"""Table 6 — PII prevalence in annotated doxes per platform."""
+
+from repro.analysis.pii_stats import pii_prevalence_table
+from repro.reporting.tables import render_table6
+from repro.types import Platform
+
+
+def test_table6_pii(benchmark, study, report_sink):
+    table = benchmark(pii_prevalence_table, study.annotated_doxes_by_platform)
+    # Paper §7.1: paste doxes carry the most PII of every platform.
+    for category in ("address", "email", "phone", "facebook", "ssn"):
+        pastes = table.share(category, Platform.PASTES)
+        for platform in (Platform.BOARDS, Platform.CHAT, Platform.GAB):
+            assert pastes >= table.share(category, platform) * 0.8, (category, platform)
+    # Phones/addresses are the top non-paste categories (paper rows).
+    assert table.share("phone", Platform.GAB) > table.share("ssn", Platform.GAB)
+    assert table.share("address", Platform.BOARDS) > table.share("credit_card", Platform.BOARDS)
+    report_sink("table6_pii", render_table6(table))

@@ -1,0 +1,18 @@
+"""Table 7 — the harm-risk taxonomy and its application to one dox set."""
+
+from repro.analysis.harm_risk_stats import harm_risks_for_document
+from repro.reporting.tables import render_table7
+from repro.taxonomy.harm_risk import HarmRisk
+
+
+def test_table7_harm_risk(benchmark, study, report_sink):
+    doxes = study.annotated_doxes
+
+    def label_all():
+        return [harm_risks_for_document(d) for d in doxes]
+
+    labels = benchmark(label_all)
+    assert len(labels) == len(doxes)
+    seen = set().union(*labels) if labels else set()
+    assert seen == set(HarmRisk)  # every risk category occurs in the data
+    report_sink("table7_harm_risk", render_table7())

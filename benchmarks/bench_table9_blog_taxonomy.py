@@ -1,0 +1,15 @@
+"""Table 9 — qualitative blog attack taxonomy with the §8.3 measurements."""
+
+from repro.reporting.tables import render_table9
+
+
+def test_table9_blog_taxonomy(benchmark, study, blog_outcomes, report_sink):
+    stormer = blog_outcomes["daily_stormer"]
+
+    overload_share = benchmark(lambda: stormer.overload_share)
+    # Paper §8.3: 60% of Daily Stormer doxes include a call to overload.
+    assert 0.3 < overload_share <= 1.0
+    # Far-left blog doxes carry reputational-harm framing, not overloading.
+    torch = blog_outcomes["the_torch"]
+    assert torch.n_with_overload <= torch.n_actual_doxes * 0.2
+    report_sink("table9_blog_taxonomy", render_table9(blog_outcomes))

@@ -1,0 +1,59 @@
+"""§6.3 / §7.4 — where in their threads CTH and dox posts appear."""
+
+from repro import paper
+from repro.analysis.threads import thread_position_stats
+from repro.types import Source, Task
+from repro.util.tables import format_table
+
+
+def test_thread_position(benchmark, study, report_sink):
+    corpus = study.corpus
+    cth = study.results[Task.CTH].true_positive_documents(Source.BOARDS)
+    dox = study.results[Task.DOX].true_positive_documents(Source.BOARDS)
+
+    cth_stats = benchmark(thread_position_stats, corpus, cth)
+    dox_stats = thread_position_stats(corpus, dox)
+
+    # Paper §6.3: CTHs rarely open (3.7%) or close (2.7%) a thread.
+    assert cth_stats.first_post_share < 0.10
+    assert cth_stats.last_post_share < 0.10
+    # Paper §7.4: doxes open threads notably more often (9.7%).
+    assert dox_stats.first_post_share > cth_stats.first_post_share
+    # Positions are right-skewed (mean > median), like the paper's
+    # median 70 / mean 145 / std 263.
+    assert cth_stats.position_mean > cth_stats.position_median
+
+    rows = [
+        (
+            "CTH (measured)", f"{cth_stats.first_post_share * 100:.1f}%",
+            f"{cth_stats.last_post_share * 100:.1f}%",
+            f"{cth_stats.position_median:.0f}", f"{cth_stats.position_mean:.0f}",
+            f"{cth_stats.position_std:.0f}",
+        ),
+        (
+            "CTH (paper)", "3.7%", "2.7%",
+            str(paper.CTH_THREAD_STATS["position_median"]),
+            str(paper.CTH_THREAD_STATS["position_mean"]),
+            str(paper.CTH_THREAD_STATS["position_std"]),
+        ),
+        (
+            "Dox (measured)", f"{dox_stats.first_post_share * 100:.1f}%",
+            f"{dox_stats.last_post_share * 100:.1f}%",
+            f"{dox_stats.position_median:.0f}", f"{dox_stats.position_mean:.0f}",
+            f"{dox_stats.position_std:.0f}",
+        ),
+        (
+            "Dox (paper)", "9.7%", "2.7%",
+            str(paper.DOX_THREAD_STATS["position_median"]),
+            str(paper.DOX_THREAD_STATS["position_mean"]),
+            str(paper.DOX_THREAD_STATS["position_std"]),
+        ),
+    ]
+    report_sink(
+        "thread_position",
+        format_table(
+            ["Set", "first", "last", "median", "mean", "std"],
+            rows,
+            title="Thread position of CTH and dox posts (boards)",
+        ),
+    )

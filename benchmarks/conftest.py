@@ -1,0 +1,50 @@
+"""Benchmark fixtures: one full-scale study shared across every bench.
+
+The study (synthetic corpus + both pipelines) takes ~2 minutes to build at
+the default scale and is reused by every benchmark.  Set
+``REPRO_BENCH_TINY=1`` to run the whole bench suite at test scale in
+seconds (useful while developing).
+
+Every bench writes its paper-vs-measured report to
+``benchmarks/reports/<name>.txt`` and prints it; EXPERIMENTS.md is the
+curated record of one full-scale run.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.analysis.blogs import blog_analysis
+from repro.lab import StudyConfig, run_study
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+def _bench_config() -> StudyConfig:
+    if os.environ.get("REPRO_BENCH_TINY"):
+        return StudyConfig.tiny()
+    return StudyConfig()
+
+
+@pytest.fixture(scope="session")
+def study():
+    return run_study(_bench_config())
+
+
+@pytest.fixture(scope="session")
+def blog_outcomes(study):
+    return blog_analysis(list(study.corpus))
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    REPORT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, content: str) -> None:
+        (REPORT_DIR / f"{name}.txt").write_text(content + "\n")
+        print("\n" + content)
+
+    return write

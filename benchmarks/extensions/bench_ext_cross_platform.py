@@ -1,0 +1,30 @@
+"""Extension bench — cross-platform target linkage (paper §9.2)."""
+
+from repro.extensions.cross_platform import build_target_linkage
+from repro.types import Task
+from repro.util.tables import format_table
+
+
+def test_ext_cross_platform(benchmark, study, report_sink):
+    docs = list(study.above_threshold(Task.DOX)) + list(study.above_threshold(Task.CTH))
+
+    graph = benchmark.pedantic(build_target_linkage, args=(docs,), rounds=1, iterations=1)
+    assert graph.n_components > 0
+    # Same-platform campaigns dominate (§7.3: 98% of repeats on one set).
+    assert graph.cross_platform_share < 0.2
+    assert graph.largest_campaign[0] >= 3
+
+    rows = [
+        ("documents analysed", graph.n_documents),
+        ("documents in campaigns", graph.n_linked_documents),
+        ("campaigns (linked components)", graph.n_components),
+        ("cross-platform campaigns", graph.cross_platform_components),
+        ("cross-platform share", f"{graph.cross_platform_share * 100:.1f}%"),
+        ("largest campaign (documents)", graph.largest_campaign[0]),
+        ("largest campaign platforms", ", ".join(p.value for p in graph.largest_campaign[1])),
+    ]
+    report_sink(
+        "ext_cross_platform",
+        format_table(["Quantity", "value"], rows,
+                     title="Extension — cross-platform target linkage (§9.2)"),
+    )

@@ -1,0 +1,35 @@
+"""Extension bench — thread escalation into calls to harassment (§6.3
+future work)."""
+
+import numpy as np
+
+from repro.extensions.escalation import escalation_curve
+from repro.types import Source, Task
+from repro.util.tables import format_table
+
+
+def test_ext_escalation(benchmark, study, report_sink):
+    cth = study.results[Task.CTH].true_positive_documents(Source.BOARDS)
+    curve = benchmark(escalation_curve, study.corpus, cth)
+
+    assert curve.n_threads_with_cth > 100
+    assert (np.diff(curve.cumulative) >= 0).all()
+    # §6.3: calls rarely open a thread — escalation happens mid-thread.
+    assert curve.probability_by(0.05) < 0.25
+    assert curve.probability_by(0.5) > 0.3
+
+    rows = [
+        (f"t = {t:.2f}", f"{curve.probability_by(t) * 100:.1f}%")
+        for t in (0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+    ]
+    size_rows = [
+        (f"threads of size >= {bucket}", f"{prob * 100:.1f}%")
+        for bucket, prob in curve.escalation_by_size
+    ]
+    report_sink(
+        "ext_escalation",
+        format_table(["Relative position", "P(first CTH appeared)"], rows,
+                     title="Extension — thread escalation curve (boards)")
+        + "\n\n"
+        + format_table(["Thread size bucket", "P(contains CTH)"], size_rows),
+    )

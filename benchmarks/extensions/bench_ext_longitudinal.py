@@ -1,0 +1,45 @@
+"""Extension bench — longitudinal volume and attack-mix analysis (§9.2)."""
+
+from repro.extensions.longitudinal import attack_mix_over_time, monthly_volume, trend_test
+from repro.taxonomy.attack_types import AttackType
+from repro.types import Task
+from repro.util.tables import format_table
+
+
+def test_ext_longitudinal(benchmark, study, report_sink):
+    from repro.types import Platform
+
+    cth = study.results[Task.CTH].true_positive_documents()
+    volume = benchmark(monthly_volume, cth)
+    assert sum(volume.values()) == len(cth)
+
+    # Combined volume trends UP — a structural crawl-coverage effect, not
+    # behaviour: platforms enter the data at different dates (boards 2001,
+    # chat 2015, Gab 2016), exactly as in real multi-platform crawls.
+    combined = trend_test(volume, n_permutations=1_000)
+    assert combined.slope > 0
+
+    # Within one platform, planting is uniform over its date range, so no
+    # trend should be detected (the extension's null-calibration check).
+    boards_volume = monthly_volume(cth, platform=Platform.BOARDS)
+    boards = trend_test(boards_volume, n_permutations=1_000)
+    assert boards.p_value > 0.01
+
+    mixes = attack_mix_over_time(study.coded_cth, n_windows=4)
+    assert all(max(mix, key=mix.get) is AttackType.REPORTING for mix in mixes)
+
+    rows = [
+        ("months observed", combined.n_months),
+        ("total detected CTH", sum(volume.values())),
+        ("combined trend slope (docs/month)", f"{combined.slope:+.3f}"),
+        ("combined trend p (coverage effect)", f"{combined.p_value:.3f}"),
+        ("boards-only trend slope", f"{boards.slope:+.3f}"),
+        ("boards-only trend p (null check)", f"{boards.p_value:.3f}"),
+        ("reporting share, window 1", f"{mixes[0].get(AttackType.REPORTING, 0) * 100:.1f}%"),
+        ("reporting share, window 4", f"{mixes[-1].get(AttackType.REPORTING, 0) * 100:.1f}%"),
+    ]
+    report_sink(
+        "ext_longitudinal",
+        format_table(["Quantity", "value"], rows,
+                     title="Extension — longitudinal analysis (§9.2)"),
+    )

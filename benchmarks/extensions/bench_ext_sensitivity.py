@@ -1,0 +1,62 @@
+"""Extension bench — threshold sensitivity of the headline findings.
+
+Re-derives Table-5 shares at thresholds 0.5/0.7/0.9 and checks that the
+paper's central conclusions do not depend on the §5.5 threshold choice.
+"""
+
+from repro.analysis.sensitivity import pooled_dominant_attack, threshold_sensitivity
+from repro.taxonomy.attack_types import AttackType
+from repro.types import Platform, Task
+from repro.util.tables import format_table
+
+THRESHOLDS = (0.5, 0.7, 0.9)
+
+
+def test_ext_threshold_sensitivity(benchmark, study, report_sink):
+    sensitivity = benchmark.pedantic(
+        threshold_sensitivity,
+        args=(study.results[Task.CTH],),
+        kwargs={"thresholds": THRESHOLDS},
+        rounds=1, iterations=1,
+    )
+    # The headline conclusion (reporting is the dominant incited attack)
+    # holds at every threshold when pooled across platforms.  Per platform
+    # it is *not* perfectly stable — at very high thresholds the Gab
+    # column tips toward content leakage (a finding this analysis exists
+    # to surface; the report records it).
+    for threshold in THRESHOLDS:
+        assert pooled_dominant_attack(sensitivity, threshold) is AttackType.REPORTING
+
+    # Overloading stays stronger off-boards at every threshold.
+    def overloading_off_boards(shares_at_t):
+        boards = shares_at_t.get(Platform.BOARDS, {})
+        gab = shares_at_t.get(Platform.GAB, {})
+        if not boards or not gab:
+            return True
+        return gab[AttackType.OVERLOADING] > boards[AttackType.OVERLOADING]
+
+    assert sensitivity.conclusion_stable(overloading_off_boards)
+
+    rows = []
+    for threshold in THRESHOLDS:
+        for platform in (Platform.BOARDS, Platform.CHAT, Platform.GAB):
+            shares = sensitivity.shares[threshold].get(platform)
+            if not shares:
+                continue
+            rows.append(
+                (
+                    f"t={threshold}", platform.value,
+                    sensitivity.sizes[threshold].get(platform, 0),
+                    f"{shares[AttackType.REPORTING] * 100:.1f}%",
+                    f"{shares[AttackType.CONTENT_LEAKAGE] * 100:.1f}%",
+                    f"{shares[AttackType.OVERLOADING] * 100:.1f}%",
+                )
+            )
+    report_sink(
+        "ext_sensitivity",
+        format_table(
+            ["Threshold", "Platform", "n", "reporting", "leakage", "overloading"],
+            rows,
+            title="Extension — threshold sensitivity of Table-5 conclusions",
+        ),
+    )

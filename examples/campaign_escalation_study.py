@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Example: campaign and escalation analysis with the extension modules.
+
+Exercises the §9.2 future-work implementations on one study run:
+
+1. link detected documents into target campaigns across platforms,
+2. measure how board threads escalate into calls to harassment,
+3. check volume trends over time,
+4. train per-attack-type classifiers and route a sample message.
+
+Usage::
+
+    python examples/campaign_escalation_study.py
+"""
+
+from __future__ import annotations
+
+from repro import StudyConfig, Task, run_study
+from repro.extensions.cross_platform import build_target_linkage
+from repro.extensions.escalation import escalation_curve
+from repro.extensions.longitudinal import attack_mix_over_time, monthly_volume, trend_test
+from repro.extensions.per_attack import PerAttackTypeClassifier, evaluate_per_attack
+from repro.types import Source
+
+
+def main() -> None:
+    print("Running the study (tiny scale)...")
+    study = run_study(StudyConfig.tiny(seed=44))
+
+    print("\n--- Campaign linkage (cross-platform dynamics) ---")
+    docs = list(study.above_threshold(Task.DOX)) + list(study.above_threshold(Task.CTH))
+    graph = build_target_linkage(docs)
+    print(f"documents in campaigns: {graph.n_linked_documents:,} "
+          f"across {graph.n_components:,} campaigns")
+    print(f"cross-platform campaigns: {graph.cross_platform_components} "
+          f"({graph.cross_platform_share:.1%})")
+    size, platforms = graph.largest_campaign
+    print(f"largest campaign: {size} documents on "
+          f"{', '.join(p.value for p in platforms)}")
+
+    print("\n--- Thread escalation (boards) ---")
+    cth = study.results[Task.CTH].true_positive_documents(Source.BOARDS)
+    curve = escalation_curve(study.corpus, cth)
+    for t in (0.1, 0.25, 0.5, 0.9):
+        print(f"  by {t:.0%} of the thread: {curve.probability_by(t):.0%} "
+              f"of eventual calls have appeared")
+    print("  escalation probability by thread size:")
+    for bucket, prob in curve.escalation_by_size:
+        print(f"    size >= {bucket:>4}: {prob:.1%}")
+
+    print("\n--- Longitudinal trend ---")
+    volume = monthly_volume(study.results[Task.CTH].true_positive_documents())
+    trend = trend_test(volume, n_permutations=500)
+    print(f"{trend.n_months} months; slope {trend.slope:+.2f} docs/month "
+          f"(p={trend.p_value:.2f}; {'trending' if trend.increasing else 'no trend'})")
+    mixes = attack_mix_over_time(study.coded_cth, n_windows=3)
+    for i, mix in enumerate(mixes, 1):
+        top = max(mix, key=mix.get)
+        print(f"  window {i}: dominant tactic {top.value} ({mix[top]:.0%})")
+
+    print("\n--- Per-attack-type classifiers ---")
+    coded = study.coded_cth
+    split = int(len(coded) * 0.7)
+    classifier = PerAttackTypeClassifier(epochs=4, seed=2).fit(coded[:split])
+    evaluation = evaluate_per_attack(classifier, coded[split:])
+    print(f"macro F1 over {len(evaluation.per_type)} attack types: "
+          f"{evaluation.macro_f1:.3f}")
+    message = "everyone raid her stream tonight and flood the comments"
+    print(f"routing {message!r} ->",
+          ", ".join(str(t) for t in classifier.predict_types(message)))
+
+
+if __name__ == "__main__":
+    main()

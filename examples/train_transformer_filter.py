@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Example: the distilBERT-style path — pre-train and fine-tune the
+from-scratch transformer as a call-to-harassment filter.
+
+The production pipeline uses the fast hashed-linear filter; this example
+exercises the transformer substrate end to end the way the paper used
+distilBERT (§5.2): train a WordPiece vocabulary on the corpus, pre-train
+with the masked-token objective, fine-tune on labelled calls to
+harassment, and compare against the linear filter on a held-out set.
+
+Run time: ~1-2 minutes (pure numpy on CPU).
+
+Usage::
+
+    python examples/train_transformer_filter.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import CorpusBuilder, CorpusConfig, Task
+from repro.nlp.features import HashingVectorizer
+from repro.nlp.metrics import binary_classification_report, roc_auc
+from repro.nlp.models.logreg import LogisticRegressionClassifier
+from repro.nlp.models.transformer import TransformerConfig, TransformerTextClassifier
+from repro.nlp.wordpiece import WordPieceVocab
+from repro.types import Platform
+from repro.util.rng import child_rng
+
+
+def main() -> None:
+    rng = child_rng(55, "transformer-example")
+    print("Generating corpus...")
+    corpus = CorpusBuilder(CorpusConfig.tiny(seed=55)).build()
+    docs = [d for d in corpus if d.platform is not Platform.BLOGS]
+
+    positives = [d for d in docs if d.truth_for(Task.CTH)]
+    negatives = [d for d in docs if not d.truth_for(Task.CTH)]
+    neg_sample = [negatives[i] for i in rng.choice(len(negatives), 3 * len(positives), replace=False)]
+    labelled = positives + neg_sample
+    labels = np.array([True] * len(positives) + [False] * len(neg_sample))
+    order = rng.permutation(len(labelled))
+    labelled = [labelled[i] for i in order]
+    labels = labels[order]
+    split = int(0.8 * len(labelled))
+    train_docs, eval_docs = labelled[:split], labelled[split:]
+    train_y, eval_y = labels[:split], labels[split:]
+    print(f"  {len(train_docs)} training / {len(eval_docs)} eval documents")
+
+    print("Training WordPiece vocabulary (BPE merges)...")
+    vocab = WordPieceVocab.train((d.text for d in train_docs), vocab_size=2_000)
+    print(f"  vocabulary size: {len(vocab)}")
+
+    config = TransformerConfig(
+        vocab_size=len(vocab), max_len=48, d_model=48, n_heads=4,
+        n_layers=2, d_ff=96, epochs=4, lr=3e-3, seed=55,
+    )
+    model = TransformerTextClassifier(vocab, config)
+
+    print("Pre-training (masked-token objective, §5.2)...")
+    t0 = time.time()
+    sequences = [vocab.encode(d.text, config.max_len) for d in train_docs]
+    losses = model.model.pretrain_mlm(sequences, vocab.mask_id, epochs=2)
+    print(f"  MLM loss per epoch: {[round(l, 3) for l in losses]} ({time.time() - t0:.0f}s)")
+
+    print("Fine-tuning on labelled calls to harassment...")
+    t0 = time.time()
+    model.fit_texts([d.text for d in train_docs], train_y)
+    print(f"  fine-tuned in {time.time() - t0:.0f}s")
+
+    transformer_probs = model.predict_proba_texts([d.text for d in eval_docs])
+
+    print("Training the linear filter baseline...")
+    vectorizer = HashingVectorizer()
+    linear = LogisticRegressionClassifier(epochs=5, seed=55).fit(
+        vectorizer.transform_texts([d.text for d in train_docs]), train_y
+    )
+    linear_probs = linear.predict_proba(vectorizer.transform_texts([d.text for d in eval_docs]))
+
+    print("\nHeld-out comparison (CTH task):")
+    for name, probs in (("transformer", transformer_probs), ("linear filter", linear_probs)):
+        report = binary_classification_report(eval_y, probs > 0.5, "CTH", "NoCTH")
+        auc = roc_auc(eval_y, probs)
+        print(f"  {name:>13}: AUC={auc:.3f} "
+              f"F1(CTH)={report['CTH']['f1']:.3f} "
+              f"P={report['CTH']['precision']:.3f} R={report['CTH']['recall']:.3f}")
+    print("\n(The paper's Table 3 reports CTH F1=0.63 for its fine-tuned "
+          "distilBERT at much larger data scale.)")
+
+
+if __name__ == "__main__":
+    main()

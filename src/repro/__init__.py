@@ -1,0 +1,46 @@
+"""Reproduction of *A Large-Scale Characterization of Online Incitements
+to Harassment Across Platforms* (Aliapoulios et al., ACM IMC 2021).
+
+The package builds, end to end:
+
+* a synthetic five-platform corpus substrate with planted ground truth
+  (:mod:`repro.corpus`),
+* a from-scratch NLP stack (:mod:`repro.nlp`),
+* a simulated annotation ecosystem (:mod:`repro.annotation`),
+* the paper's CTH/dox filtering pipeline (:mod:`repro.pipeline`),
+* PII/gender extraction (:mod:`repro.extraction`),
+* the attack-type and harm-risk taxonomies (:mod:`repro.taxonomy`),
+* and every §6-§8 measurement (:mod:`repro.analysis`).
+
+Quick start::
+
+    from repro import StudyConfig, run_study
+    study = run_study(StudyConfig.tiny())
+    print(study.results[Task.CTH].funnel())
+
+See README.md for the full tour and DESIGN.md for the paper-to-module map.
+"""
+
+from repro.corpus.generator import CorpusBuilder, CorpusConfig
+from repro.lab import Study, StudyConfig, run_study
+from repro.pipeline.filtering import FilteringPipeline, PipelineConfig
+from repro.pipeline.vectorized import VectorizedCorpus
+from repro.types import Gender, Platform, Source, Task
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CorpusBuilder",
+    "CorpusConfig",
+    "FilteringPipeline",
+    "PipelineConfig",
+    "VectorizedCorpus",
+    "Study",
+    "StudyConfig",
+    "run_study",
+    "Gender",
+    "Platform",
+    "Source",
+    "Task",
+    "__version__",
+]

@@ -1,0 +1,48 @@
+"""Empirical analyses of the annotated true-positive sets (paper §6-§8)."""
+
+from repro.analysis.stats import (
+    benjamini_hochberg,
+    chi_square_uniform,
+    two_sample_log_t,
+)
+from repro.analysis.attack_stats import attack_type_table, subtype_table, AttackTypeTable
+from repro.analysis.gender_stats import gender_subtype_table
+from repro.analysis.threads import (
+    thread_position_stats,
+    response_sizes,
+    response_size_tests,
+    empirical_cdf,
+)
+from repro.analysis.cooccurrence import (
+    attack_cooccurrence,
+    thread_overlap,
+    CooccurrenceStats,
+)
+from repro.analysis.pii_stats import pii_prevalence_table, pii_cooccurrence
+from repro.analysis.harm_risk_stats import harm_risk_overlap, detect_reputation_info
+from repro.analysis.repeated import repeated_dox_analysis
+from repro.analysis.blogs import blog_analysis, BLOG_KEYWORDS
+
+__all__ = [
+    "benjamini_hochberg",
+    "chi_square_uniform",
+    "two_sample_log_t",
+    "attack_type_table",
+    "subtype_table",
+    "AttackTypeTable",
+    "gender_subtype_table",
+    "thread_position_stats",
+    "response_sizes",
+    "response_size_tests",
+    "empirical_cdf",
+    "attack_cooccurrence",
+    "thread_overlap",
+    "CooccurrenceStats",
+    "pii_prevalence_table",
+    "pii_cooccurrence",
+    "harm_risk_overlap",
+    "detect_reputation_info",
+    "repeated_dox_analysis",
+    "blog_analysis",
+    "BLOG_KEYWORDS",
+]

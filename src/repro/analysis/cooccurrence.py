@@ -1,0 +1,119 @@
+"""Co-occurrence analyses (paper §6.2 and §6.3).
+
+* attack-type co-occurrence within single calls to harassment;
+* thread-level overlap between above-threshold calls to harassment and
+  doxes on the boards.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Sequence
+
+from repro.corpus.documents import Corpus, Document
+from repro.taxonomy.attack_types import AttackType
+from repro.taxonomy.coding import CodedDocument
+
+
+@dataclasses.dataclass(frozen=True)
+class CooccurrenceStats:
+    """Attack-type multiplicity and pairwise conditional rates (§6.2)."""
+
+    n_documents: int
+    type_count_histogram: Mapping[int, int]  # n parent types -> documents
+    pair_counts: Mapping[tuple[AttackType, AttackType], int]
+    parent_totals: Mapping[AttackType, int]
+
+    @property
+    def multi_type_count(self) -> int:
+        return sum(c for n, c in self.type_count_histogram.items() if n > 1)
+
+    @property
+    def multi_type_share(self) -> float:
+        return self.multi_type_count / self.n_documents if self.n_documents else 0.0
+
+    def conditional(self, given: AttackType, other: AttackType) -> float:
+        """P(other present | given present)."""
+        total = self.parent_totals.get(given, 0)
+        if total == 0:
+            return 0.0
+        key = (given, other) if given.value < other.value else (other, given)
+        return self.pair_counts.get(key, 0) / total
+
+
+def attack_cooccurrence(coded: Sequence[CodedDocument]) -> CooccurrenceStats:
+    histogram: dict[int, int] = {}
+    pair_counts: dict[tuple[AttackType, AttackType], int] = {}
+    parent_totals: dict[AttackType, int] = {}
+    for doc in coded:
+        parents = sorted(doc.parents, key=lambda a: a.value)
+        histogram[len(parents)] = histogram.get(len(parents), 0) + 1
+        for parent in parents:
+            parent_totals[parent] = parent_totals.get(parent, 0) + 1
+        for i, a in enumerate(parents):
+            for b in parents[i + 1 :]:
+                pair_counts[(a, b)] = pair_counts.get((a, b), 0) + 1
+    return CooccurrenceStats(
+        n_documents=len(coded),
+        type_count_histogram=histogram,
+        pair_counts=pair_counts,
+        parent_totals=parent_totals,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class ThreadOverlap:
+    """CTH x dox thread overlap on the boards (§6.3)."""
+
+    n_cth: int
+    n_dox: int
+    cth_in_dox_thread: int
+    dox_threads_total: int
+    dox_threads_with_cth: int
+    random_thread_cth_share: float
+    random_thread_dox_share: float
+
+    @property
+    def cth_with_dox_share(self) -> float:
+        return self.cth_in_dox_thread / self.n_cth if self.n_cth else 0.0
+
+    @property
+    def dox_thread_with_cth_share(self) -> float:
+        if not self.dox_threads_total:
+            return 0.0
+        return self.dox_threads_with_cth / self.dox_threads_total
+
+
+def thread_overlap(
+    corpus: Corpus,
+    cth_docs: Sequence[Document],
+    dox_docs: Sequence[Document],
+) -> ThreadOverlap:
+    """Measure thread co-occurrence of above-threshold CTH and dox posts.
+
+    As in the paper, this runs on the *above-threshold* sets (the
+    annotated sets are too small to capture overlap), so classifier false
+    positives introduce some noise by design.
+    """
+    cth_threads = {d.thread_id for d in cth_docs if d.thread_id is not None}
+    dox_threads = {d.thread_id for d in dox_docs if d.thread_id is not None}
+    cth_in_dox = sum(
+        1 for d in cth_docs if d.thread_id is not None and d.thread_id in dox_threads
+    )
+    dox_with_cth = len(dox_threads & cth_threads)
+    all_threads = corpus.threads
+    n_threads = len(all_threads) or 1
+    return ThreadOverlap(
+        n_cth=sum(1 for d in cth_docs if d.thread_id is not None),
+        n_dox=sum(1 for d in dox_docs if d.thread_id is not None),
+        cth_in_dox_thread=cth_in_dox,
+        dox_threads_total=len(dox_threads),
+        dox_threads_with_cth=dox_with_cth,
+        random_thread_cth_share=len(cth_threads) / n_threads,
+        random_thread_dox_share=len(dox_threads) / n_threads,
+    )
+
+
+def detected_by_both(documents: Sequence[Document]) -> int:
+    """Documents positive for both tasks (the paper's 95 posts, §1)."""
+    return sum(1 for d in documents if d.truth.is_dox and d.truth.is_cth)

@@ -1,0 +1,54 @@
+"""Attack-type prevalence per inferred target gender (paper Table 10)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Sequence
+
+from repro.analysis.stats import TestResult, chi_square_two_way
+from repro.extraction.gender import infer_gender
+from repro.taxonomy.attack_types import AttackSubtype
+from repro.taxonomy.coding import CodedDocument
+from repro.types import Gender
+
+
+@dataclasses.dataclass(frozen=True)
+class GenderSubtypeTable:
+    sizes: Mapping[Gender, int]
+    counts: Mapping[AttackSubtype, Mapping[Gender, int]]
+
+    def share(self, subtype: AttackSubtype, gender: Gender) -> float:
+        size = self.sizes.get(gender, 0)
+        if size == 0:
+            return 0.0
+        return self.counts[subtype].get(gender, 0) / size
+
+
+def gender_subtype_table(coded: Sequence[CodedDocument]) -> GenderSubtypeTable:
+    """Build Table 10: subtype prevalence per pronoun-inferred gender.
+
+    Gender is inferred from the text (§5.6), never read from ground truth
+    — the analysis is exactly as blind as the paper's.
+    """
+    sizes: dict[Gender, int] = {g: 0 for g in Gender}
+    counts: dict[AttackSubtype, dict[Gender, int]] = {s: {} for s in AttackSubtype}
+    for doc in coded:
+        gender = infer_gender(doc.document.text)
+        sizes[gender] += 1
+        for subtype in set(doc.subtypes):
+            counts[subtype][gender] = counts[subtype].get(gender, 0) + 1
+    return GenderSubtypeTable(sizes=sizes, counts=counts)
+
+
+def private_reputation_gender_test(table: GenderSubtypeTable) -> TestResult:
+    """The paper's headline gender difference (§6.2): private reputational
+    harm is disproportionately aimed at female-pronoun targets."""
+    subtype = AttackSubtype.REPUTATIONAL_HARM_PRIVATE
+    female_with = table.counts[subtype].get(Gender.FEMALE, 0)
+    male_with = table.counts[subtype].get(Gender.MALE, 0)
+    female_without = table.sizes[Gender.FEMALE] - female_with
+    male_without = table.sizes[Gender.MALE] - male_with
+    return chi_square_two_way(
+        [[female_with, female_without], [male_with, male_without]],
+        name="reputational_harm_private x gender",
+    )

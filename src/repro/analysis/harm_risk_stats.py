@@ -1,0 +1,105 @@
+"""Harm-risk labelling and overlap of annotated doxes (paper §7.2, Fig. 2)."""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Mapping, Sequence
+
+from repro.corpus.documents import Document
+from repro.extraction.pii import pii_categories_present
+from repro.taxonomy.harm_risk import HarmRisk, harm_risks_for_dox
+from repro.types import Platform, Source
+
+#: Reputation risk cannot be inferred from extracted PII; the paper used
+#: manual annotation.  The stand-in detects the same signals the experts
+#: read: named family members or an employer in the dox text.
+_REPUTATION_RE = re.compile(
+    r"\b(?:works at|employer|job|family|relatives|next of kin|"
+    r"boss|workplace|place of employment)\s*[:\-]",
+    re.IGNORECASE,
+)
+
+
+def detect_reputation_info(text: str) -> bool:
+    """Manual-annotation stand-in for the Table 7 reputation signal."""
+    return bool(_REPUTATION_RE.search(text))
+
+
+def harm_risks_for_document(doc: Document) -> frozenset[HarmRisk]:
+    """Harm risks of one dox from extracted PII + the reputation signal."""
+    return harm_risks_for_dox(
+        pii_categories_present(doc.text), detect_reputation_info(doc.text)
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class HarmRiskOverlap:
+    """Figure-2-shaped overlap structure."""
+
+    n_documents: int
+    totals: Mapping[HarmRisk, int]
+    #: combination (frozenset of risks) -> document count; includes the
+    #: empty combination (doxes with no risk indicator at all).
+    combinations: Mapping[frozenset, int]
+    #: combination -> count of documents from the pastes platform.
+    combination_pastes: Mapping[frozenset, int]
+
+    @property
+    def all_four_count(self) -> int:
+        return self.combinations.get(frozenset(HarmRisk), 0)
+
+    @property
+    def all_four_share(self) -> float:
+        return self.all_four_count / self.n_documents if self.n_documents else 0.0
+
+    @property
+    def all_four_pastes_share(self) -> float:
+        total = self.all_four_count
+        if total == 0:
+            return 0.0
+        return self.combination_pastes.get(frozenset(HarmRisk), 0) / total
+
+    def no_risk_share(self) -> float:
+        return self.combinations.get(frozenset(), 0) / self.n_documents if self.n_documents else 0.0
+
+
+def harm_risk_overlap(documents: Sequence[Document]) -> HarmRiskOverlap:
+    totals: dict[HarmRisk, int] = {r: 0 for r in HarmRisk}
+    combinations: dict[frozenset, int] = {}
+    combination_pastes: dict[frozenset, int] = {}
+    for doc in documents:
+        risks = harm_risks_for_document(doc)
+        for risk in risks:
+            totals[risk] += 1
+        combinations[risks] = combinations.get(risks, 0) + 1
+        if doc.platform is Platform.PASTES:
+            combination_pastes[risks] = combination_pastes.get(risks, 0) + 1
+    return HarmRiskOverlap(
+        n_documents=len(documents),
+        totals=totals,
+        combinations=combinations,
+        combination_pastes=combination_pastes,
+    )
+
+
+def no_risk_share_for_source(documents: Sequence[Document], source: Source) -> float:
+    """Share of one source's doxes carrying no risk indicator (§7.2:
+    'more than 50% of the Discord samples')."""
+    subset = [d for d in documents if d.source is source]
+    if not subset:
+        return 0.0
+    missing = sum(1 for d in subset if not harm_risks_for_document(d))
+    return missing / len(subset)
+
+
+def reputation_alone_share(documents: Sequence[Document], platform: Platform) -> float:
+    """Share of a platform's doxes whose only risk is reputation (§7.2:
+    23% of the chat data set)."""
+    subset = [d for d in documents if d.platform is platform]
+    if not subset:
+        return 0.0
+    alone = sum(
+        1 for d in subset if harm_risks_for_document(d) == frozenset({HarmRisk.REPUTATION})
+    )
+    return alone / len(subset)

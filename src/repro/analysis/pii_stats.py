@@ -1,0 +1,80 @@
+"""PII prevalence and co-occurrence in annotated doxes (paper §7.1, Table 6)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Sequence
+
+from repro.corpus.documents import Document
+from repro.extraction.pii import PII_EXTRACTORS, pii_categories_present
+from repro.types import Platform
+
+
+@dataclasses.dataclass(frozen=True)
+class PiiTable:
+    """Per-platform PII presence counts over annotated doxes (Table 6)."""
+
+    sizes: Mapping[Platform, int]
+    counts: Mapping[str, Mapping[Platform, int]]
+
+    def share(self, category: str, platform: Platform) -> float:
+        size = self.sizes.get(platform, 0)
+        if size == 0:
+            return 0.0
+        return self.counts[category].get(platform, 0) / size
+
+
+def pii_prevalence_table(
+    doxes_by_platform: Mapping[Platform, Sequence[Document]]
+) -> PiiTable:
+    """Extract PII from each annotated dox and tabulate presence."""
+    sizes = {p: len(docs) for p, docs in doxes_by_platform.items()}
+    counts: dict[str, dict[Platform, int]] = {c: {} for c in PII_EXTRACTORS}
+    for platform, docs in doxes_by_platform.items():
+        for doc in docs:
+            for category in pii_categories_present(doc.text):
+                counts[category][platform] = counts[category].get(platform, 0) + 1
+    return PiiTable(sizes=sizes, counts=counts)
+
+
+@dataclasses.dataclass(frozen=True)
+class PiiCooccurrence:
+    """Pairwise conditional presence rates across all annotated doxes."""
+
+    totals: Mapping[str, int]
+    pair_counts: Mapping[tuple[str, str], int]
+    n_documents: int
+
+    def conditional(self, given: str, other: str) -> float:
+        """P(other present | given present)."""
+        total = self.totals.get(given, 0)
+        if total == 0:
+            return 0.0
+        key = (given, other) if given < other else (other, given)
+        return self.pair_counts.get(key, 0) / total
+
+    def min_conditional(self, category: str) -> float:
+        """min over other categories of P(category | other).
+
+        This is the shape of the paper's §7.1 claim: "street addresses,
+        phone numbers and email addresses co-occurred with all other types
+        of PII more than 35 % of the time" — i.e. whatever other PII a dox
+        carries, the core category is present at least that often.
+        """
+        others = [c for c in self.totals if c != category and self.totals[c] > 0]
+        if not others or self.totals.get(category, 0) == 0:
+            return 0.0
+        return min(self.conditional(other, category) for other in others)
+
+
+def pii_cooccurrence(documents: Sequence[Document]) -> PiiCooccurrence:
+    totals: dict[str, int] = {}
+    pair_counts: dict[tuple[str, str], int] = {}
+    for doc in documents:
+        present = sorted(pii_categories_present(doc.text))
+        for category in present:
+            totals[category] = totals.get(category, 0) + 1
+        for i, a in enumerate(present):
+            for b in present[i + 1 :]:
+                pair_counts[(a, b)] = pair_counts.get((a, b), 0) + 1
+    return PiiCooccurrence(totals=totals, pair_counts=pair_counts, n_documents=len(documents))

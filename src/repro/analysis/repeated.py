@@ -1,0 +1,81 @@
+"""Repeated-dox linking via shared social-media handles (paper §7.3).
+
+Two doxes are "repeated" when they contain the same social-media profile
+(Facebook, Instagram, Twitter, or YouTube) — the paper found OSN accounts
+the most reliable linking key.  The analysis runs over the complete
+above-threshold dox sets, as in the paper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Sequence
+
+from repro.corpus.documents import Document
+from repro.extraction.pii import extract_pii
+from repro.types import Platform
+
+OSN_CATEGORIES = ("facebook", "instagram", "twitter", "youtube")
+
+
+@dataclasses.dataclass(frozen=True)
+class RepeatedDoxStats:
+    n_documents: int
+    repeated_count: int
+    same_platform_repeat_count: int
+    cross_posted_count: int  # repeated docs whose handle appears on >1 platform
+    repeated_by_platform: Mapping[Platform, int]
+
+    @property
+    def repeated_share(self) -> float:
+        return self.repeated_count / self.n_documents if self.n_documents else 0.0
+
+    @property
+    def same_platform_share(self) -> float:
+        if self.repeated_count == 0:
+            return 0.0
+        return self.same_platform_repeat_count / self.repeated_count
+
+
+def repeated_dox_analysis(documents: Sequence[Document]) -> RepeatedDoxStats:
+    """Link doxes by shared OSN handles and tabulate repeats."""
+    # handle key -> list of (document index, platform)
+    handle_docs: dict[tuple[str, str], list[int]] = {}
+    doc_handles: list[list[tuple[str, str]]] = []
+    for i, doc in enumerate(documents):
+        extracted = extract_pii(doc.text)
+        handles = [
+            (category, value.lower())
+            for category in OSN_CATEGORIES
+            for value in extracted.get(category, ())
+        ]
+        doc_handles.append(handles)
+        for key in handles:
+            handle_docs.setdefault(key, []).append(i)
+
+    repeated_flags = [False] * len(documents)
+    cross_posted_flags = [False] * len(documents)
+    same_platform_flags = [False] * len(documents)
+    for key, doc_ids in handle_docs.items():
+        if len(doc_ids) < 2:
+            continue
+        platforms = {documents[i].platform for i in doc_ids}
+        for i in doc_ids:
+            repeated_flags[i] = True
+            if len(platforms) > 1:
+                cross_posted_flags[i] = True
+            if sum(1 for j in doc_ids if documents[j].platform is documents[i].platform) > 1:
+                same_platform_flags[i] = True
+
+    repeated_by_platform: dict[Platform, int] = {}
+    for i, flag in enumerate(repeated_flags):
+        if flag:
+            platform = documents[i].platform
+            repeated_by_platform[platform] = repeated_by_platform.get(platform, 0) + 1
+    return RepeatedDoxStats(
+        n_documents=len(documents),
+        repeated_count=sum(repeated_flags),
+        same_platform_repeat_count=sum(same_platform_flags),
+        cross_posted_count=sum(cross_posted_flags),
+        repeated_by_platform=repeated_by_platform,
+    )

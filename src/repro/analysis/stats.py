@@ -1,0 +1,80 @@
+"""Statistical tests used by the paper's analyses.
+
+* one-way chi-square tests for subcategory differences across data sets
+  (§6.2), with multiple-testing correction;
+* two-sample t-tests on log thread sizes (§6.3) — logs for symmetric
+  distributions, as the paper notes;
+* Benjamini-Hochberg correction with the paper's default error rate 0.1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as sps
+
+
+@dataclasses.dataclass(frozen=True)
+class TestResult:
+    __test__ = False  # not a pytest test class despite the name
+
+    name: str
+    statistic: float
+    p_value: float
+    significant: bool = False
+
+    def with_significance(self, significant: bool) -> "TestResult":
+        return dataclasses.replace(self, significant=significant)
+
+
+def chi_square_uniform(counts: Sequence[int], name: str = "") -> TestResult:
+    """One-way chi-square against the uniform expectation."""
+    counts = np.asarray(counts, dtype=np.float64)
+    if counts.size < 2:
+        raise ValueError("chi-square needs at least two categories")
+    if counts.sum() <= 0:
+        raise ValueError("chi-square needs non-zero total count")
+    statistic, p_value = sps.chisquare(counts)
+    return TestResult(name=name, statistic=float(statistic), p_value=float(p_value))
+
+
+def chi_square_two_way(table: np.ndarray, name: str = "") -> TestResult:
+    """Chi-square test of independence for a contingency table."""
+    table = np.asarray(table, dtype=np.float64)
+    statistic, p_value, _dof, _exp = sps.chi2_contingency(table)
+    return TestResult(name=name, statistic=float(statistic), p_value=float(p_value))
+
+
+def two_sample_log_t(sample: Sequence[float], baseline: Sequence[float], name: str = "") -> TestResult:
+    """Welch t-test on log-transformed positive values (paper §6.3)."""
+    a = np.log(np.asarray(sample, dtype=np.float64) + 1.0)
+    b = np.log(np.asarray(baseline, dtype=np.float64) + 1.0)
+    if a.size < 2 or b.size < 2:
+        raise ValueError("both samples need at least two observations")
+    statistic, p_value = sps.ttest_ind(a, b, equal_var=False)
+    return TestResult(name=name, statistic=float(statistic), p_value=float(p_value))
+
+
+def benjamini_hochberg(results: Sequence[TestResult], error_rate: float = 0.1) -> list[TestResult]:
+    """BH step-up procedure; returns results flagged for significance.
+
+    The paper corrects its thread-size comparisons with BH at the default
+    error rate of 0.1.
+    """
+    if not 0 < error_rate < 1:
+        raise ValueError("error_rate must be in (0, 1)")
+    if not results:
+        return []
+    order = np.argsort([r.p_value for r in results])
+    m = len(results)
+    threshold_rank = 0
+    for rank, idx in enumerate(order, start=1):
+        if results[idx].p_value <= rank / m * error_rate:
+            threshold_rank = rank
+    significant_ids = set(order[:threshold_rank].tolist())
+    return [
+        result.with_significance(i in significant_ids)
+        for i, result in enumerate(results)
+    ]

@@ -1,0 +1,23 @@
+"""Annotation ecosystem: simulated annotators, the paper's crowdsourcing
+protocol (§5.3), agreement statistics, and active-learning sampling."""
+
+from repro.annotation.annotator import (
+    AnnotatorProfile,
+    SimulatedAnnotator,
+    CROWD_PROFILES,
+    EXPERT_PROFILE,
+)
+from repro.annotation.crowdsource import CrowdsourcingService, CrowdsourceResult
+from repro.annotation.agreement import agreement_summary
+from repro.annotation.active_learning import decile_sample
+
+__all__ = [
+    "AnnotatorProfile",
+    "SimulatedAnnotator",
+    "CROWD_PROFILES",
+    "EXPERT_PROFILE",
+    "CrowdsourcingService",
+    "CrowdsourceResult",
+    "agreement_summary",
+    "decile_sample",
+]

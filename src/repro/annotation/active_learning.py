@@ -1,0 +1,51 @@
+"""Active-learning sampling for crowdsourced annotation (paper §5.3).
+
+The paper's cycle: train on precise data, predict the whole corpus, then
+sample evenly across ten predicted-probability ranges and send the sample
+to crowdworkers.  :func:`decile_sample` implements the stratified sampler;
+the cycle itself is orchestrated by the filtering pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+N_BINS = 10
+
+
+def decile_sample(
+    scores: np.ndarray,
+    n_per_bin: int,
+    rng: np.random.Generator,
+    exclude: np.ndarray | None = None,
+    n_bins: int = N_BINS,
+) -> np.ndarray:
+    """Sample document indices evenly across predicted-score ranges.
+
+    ``scores`` are P(positive) for every candidate document; ``exclude``
+    marks indices that must not be re-sampled (already annotated).  Bins
+    are the fixed ranges [0, 0.1), [0.1, 0.2), ..., [0.9, 1.0] as in the
+    paper; a bin with fewer candidates than ``n_per_bin`` contributes all
+    of them.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 1:
+        raise ValueError("scores must be one-dimensional")
+    if n_per_bin <= 0:
+        raise ValueError("n_per_bin must be positive")
+    if np.any((scores < 0) | (scores > 1)):
+        raise ValueError("scores must be probabilities in [0, 1]")
+    available = np.ones(scores.size, dtype=bool)
+    if exclude is not None:
+        available[np.asarray(exclude, dtype=np.int64)] = False
+    bins = np.minimum((scores * n_bins).astype(np.int64), n_bins - 1)
+    chosen: list[np.ndarray] = []
+    for b in range(n_bins):
+        candidates = np.flatnonzero((bins == b) & available)
+        if candidates.size == 0:
+            continue
+        take = min(n_per_bin, candidates.size)
+        chosen.append(rng.choice(candidates, size=take, replace=False))
+    if not chosen:
+        return np.empty(0, dtype=np.int64)
+    return np.sort(np.concatenate(chosen))

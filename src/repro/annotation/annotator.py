@@ -1,0 +1,78 @@
+"""Simulated noisy annotators.
+
+Annotators are noisy oracles over the generator's planted ground truth,
+with class-conditional accuracy: spotting a true positive is harder than
+confirming an obvious negative, and the call-to-harassment task is harder
+than the doxing task (the paper's inter-annotator agreement was 0.350 vs
+0.519 for crowdworkers).  Profile parameters were calibrated so that the
+simulated two-annotator kappas land near the paper's (see
+benchmarks/bench_annotation_agreement.py).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.types import Task
+from repro.util.rng import child_rng
+
+
+@dataclasses.dataclass(frozen=True)
+class AnnotatorProfile:
+    """Class-conditional annotation accuracy, with per-annotator spread."""
+
+    sensitivity: float  # P(label positive | truly positive)
+    specificity: float  # P(label negative | truly negative)
+    spread: float = 0.03  # per-annotator jitter of both accuracies
+
+    def __post_init__(self) -> None:
+        for name in ("sensitivity", "specificity"):
+            value = getattr(self, name)
+            if not 0.5 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0.5, 1], got {value}")
+
+
+#: Crowdworker profiles per task, calibrated to the paper's crowd kappas
+#: (dox 0.519, CTH 0.350) and disagreement rates (3.94 %, 18.66 %).
+CROWD_PROFILES: dict[Task, AnnotatorProfile] = {
+    Task.DOX: AnnotatorProfile(sensitivity=0.76, specificity=0.975),
+    Task.CTH: AnnotatorProfile(sensitivity=0.68, specificity=0.90, spread=0.05),
+}
+
+#: Domain-expert profile (paper expert kappas: 0.893 dox / 0.845 CTH).
+#: The review samples are heavily positive (classifier output), so expert
+#: accuracy must be high for kappa to stay strong at that base rate.
+EXPERT_PROFILE = AnnotatorProfile(sensitivity=0.98, specificity=0.995, spread=0.005)
+
+
+class SimulatedAnnotator:
+    """One annotator with fixed (jittered) class-conditional accuracy."""
+
+    def __init__(self, annotator_id: int, profile: AnnotatorProfile, seed: int) -> None:
+        self.annotator_id = annotator_id
+        self.profile = profile
+        self._rng = child_rng(seed, "annotator", annotator_id)
+        jitter = self._rng.normal(0.0, profile.spread, size=2)
+        self.sensitivity = float(np.clip(profile.sensitivity + jitter[0], 0.51, 1.0))
+        self.specificity = float(np.clip(profile.specificity + jitter[1], 0.51, 1.0))
+
+    def annotate(self, truth: bool) -> bool:
+        """Produce a (possibly wrong) binary label for one document."""
+        if truth:
+            return bool(self._rng.random() < self.sensitivity)
+        return bool(self._rng.random() >= self.specificity)
+
+    def annotate_many(self, truths: np.ndarray) -> np.ndarray:
+        truths = np.asarray(truths, dtype=bool)
+        rolls = self._rng.random(truths.size)
+        return np.where(truths, rolls < self.sensitivity, rolls >= self.specificity)
+
+    def score_on_gold(self, n_questions: int, positive_rate: float = 0.5) -> float:
+        """Simulate this annotator's score on a gold-question test."""
+        if n_questions <= 0:
+            raise ValueError("n_questions must be positive")
+        truths = self._rng.random(n_questions) < positive_rate
+        answers = self.annotate_many(truths)
+        return float(np.mean(answers == truths))

@@ -1,0 +1,219 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro generate  --out corpus.jsonl [--tiny/--full] [--seed N]
+    repro run       [--tiny/--full] [--seed N] [--report-dir DIR]
+    repro train     --corpus corpus.jsonl --task dox|cth --out model.npz
+    repro score     --model model.npz [--text "..."] [--file posts.txt]
+    repro assess    --text "..."      (taxonomy coding + PII + harm risks)
+
+``generate`` writes a synthetic corpus as JSONL; ``run`` executes the full
+study and prints the paper-vs-measured reports; ``train``/``score`` cover
+the deployment loop the paper's §3 release intent describes; ``assess``
+runs the rule-based analysis layers on a single text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+import numpy as np
+
+
+def _add_scale_args(parser: argparse.ArgumentParser) -> None:
+    scale = parser.add_mutually_exclusive_group()
+    scale.add_argument("--tiny", action="store_true", help="test-scale corpus (seconds)")
+    scale.add_argument("--full", action="store_true", help="full-scale corpus (minutes)")
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _study_config(args):
+    from repro.lab import StudyConfig
+
+    return StudyConfig(seed=args.seed) if args.full else StudyConfig.tiny(args.seed)
+
+
+def cmd_generate(args) -> int:
+    from repro.corpus.generator import CorpusBuilder, CorpusConfig
+    from repro.corpus.io import write_jsonl
+    from repro.corpus.validate import validate_corpus
+
+    config = CorpusConfig(seed=args.seed) if args.full else CorpusConfig.tiny(args.seed)
+    corpus = CorpusBuilder(config).build()
+    issues = validate_corpus(corpus, strict=True)
+    if issues:
+        for issue in issues[:20]:
+            print(f"validation: {issue}", file=sys.stderr)
+        return 1
+    count = write_jsonl(corpus, args.out)
+    print(f"wrote {count:,} documents to {args.out} (validated)")
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.analysis.attack_stats import attack_type_table
+    from repro.lab import run_study
+    from repro.reporting.bundle import generate_report_bundle
+    from repro.reporting.tables import render_table3, render_table4, render_table5
+
+    study = run_study(_study_config(args))
+    if args.all:
+        reports = dict(generate_report_bundle(study))
+        # Keep stdout focused on the headline tables even with --all.
+        to_print = ("table3_classifier_perf", "table4_thresholds", "table5_attack_types")
+    else:
+        reports = {
+            "table3": render_table3(study.results),
+            "table4": render_table4(study.results),
+            "table5": render_table5(attack_type_table(study.coded_cth_by_platform)),
+        }
+        to_print = tuple(reports)
+    for name in to_print:
+        print(reports[name])
+        print()
+    if args.report_dir:
+        directory = pathlib.Path(args.report_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        for name, content in reports.items():
+            (directory / f"{name}.txt").write_text(content + "\n")
+        print(f"{len(reports)} reports written to {args.report_dir}")
+    return 0
+
+
+def _parse_task(value: str):
+    from repro.types import Task
+
+    normalized = value.lower()
+    if normalized in ("dox", "doxing"):
+        return Task.DOX
+    if normalized in ("cth", "call_to_harassment", "harassment"):
+        return Task.CTH
+    raise argparse.ArgumentTypeError(f"unknown task: {value} (use dox|cth)")
+
+
+def cmd_train(args) -> int:
+    from repro.corpus.io import iter_jsonl
+    from repro.nlp.features import HashingVectorizer
+    from repro.nlp.models.logreg import LogisticRegressionClassifier
+    from repro.nlp.serialize import save_filter_model
+
+    documents = list(iter_jsonl(args.corpus))
+    if not documents:
+        print("error: corpus is empty", file=sys.stderr)
+        return 2
+    labels = np.array([d.truth_for(args.task) for d in documents])
+    vectorizer = HashingVectorizer()
+    features = vectorizer.transform_texts([d.text for d in documents])
+    model = LogisticRegressionClassifier(epochs=args.epochs, seed=args.seed)
+    model.fit(features, labels)
+    save_filter_model(
+        args.out, model, vectorizer,
+        metadata={"task": args.task.value, "trained_on": str(args.corpus)},
+    )
+    print(f"trained {args.task.value} model on {len(documents):,} documents -> {args.out}")
+    return 0
+
+
+def cmd_score(args) -> int:
+    from repro.nlp.serialize import load_filter_model
+
+    model, vectorizer, metadata = load_filter_model(args.model)
+    if args.text is not None:
+        texts = [args.text]
+    elif args.file:
+        texts = [
+            line.rstrip("\n")
+            for line in pathlib.Path(args.file).read_text().splitlines()
+            if line.strip()
+        ]
+    else:
+        texts = [line.rstrip("\n") for line in sys.stdin if line.strip()]
+    if not texts:
+        print("error: nothing to score", file=sys.stderr)
+        return 2
+    scores = model.predict_proba(vectorizer.transform_texts(texts))
+    task = metadata.get("task", "unknown-task")
+    for text, score in zip(texts, scores):
+        print(f"{score:.4f}\t[{task}]\t{text[:80]}")
+    return 0
+
+
+def cmd_assess(args) -> int:
+    from repro.analysis.harm_risk_stats import detect_reputation_info
+    from repro.extraction.gender import infer_gender
+    from repro.extraction.pii import extract_pii
+    from repro.pipeline.seeds import matches_seed_query
+    from repro.taxonomy.coding import ExpertCoder
+    from repro.taxonomy.harm_risk import harm_risks_for_dox
+
+    from repro.taxonomy.attack_types import PARENT_OF
+    from repro.taxonomy.definitions import DEFINITIONS
+
+    text = args.text
+    print(f"text: {text[:120]!r}")
+    print(f"matches mobilising keyword query: {matches_seed_query(text)}")
+    subtypes = ExpertCoder().code_text(text)
+    print(f"taxonomy coding: {', '.join(str(s) for s in subtypes)}")
+    for parent in dict.fromkeys(PARENT_OF[s] for s in subtypes):
+        print(f"  {parent.value}: {DEFINITIONS[parent].definition}")
+    pii = extract_pii(text)
+    print(f"PII found: {', '.join(pii) if pii else 'none'}")
+    risks = harm_risks_for_dox(pii, detect_reputation_info(text))
+    print(f"harm risks: {', '.join(sorted(str(r) for r in risks)) or 'none'}")
+    print(f"inferred target gender: {infer_gender(text)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the IMC'21 incitements-to-harassment study",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_generate = sub.add_parser("generate", help="write a synthetic corpus as JSONL")
+    _add_scale_args(p_generate)
+    p_generate.add_argument("--out", required=True)
+    p_generate.set_defaults(func=cmd_generate)
+
+    p_run = sub.add_parser("run", help="run the full study and print reports")
+    _add_scale_args(p_run)
+    p_run.add_argument("--report-dir", default=None)
+    p_run.add_argument(
+        "--all", action="store_true",
+        help="generate the complete report bundle (every table/figure)",
+    )
+    p_run.set_defaults(func=cmd_run)
+
+    p_train = sub.add_parser("train", help="train a filter model from a JSONL corpus")
+    p_train.add_argument("--corpus", required=True)
+    p_train.add_argument("--task", type=_parse_task, required=True)
+    p_train.add_argument("--out", required=True)
+    p_train.add_argument("--epochs", type=int, default=6)
+    p_train.add_argument("--seed", type=int, default=7)
+    p_train.set_defaults(func=cmd_train)
+
+    p_score = sub.add_parser("score", help="score texts with a saved model")
+    p_score.add_argument("--model", required=True)
+    p_score.add_argument("--text", default=None)
+    p_score.add_argument("--file", default=None)
+    p_score.set_defaults(func=cmd_score)
+
+    p_assess = sub.add_parser("assess", help="taxonomy + PII + harm-risk for one text")
+    p_assess.add_argument("--text", required=True)
+    p_assess.set_defaults(func=cmd_assess)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Synthetic multi-platform corpus substrate.
+
+The paper analysed a proprietary threat-intelligence crawl of five platform
+families.  This package replaces that crawl with generative platform
+substrates whose planted ground truth is calibrated to the distributions the
+paper reports, so the filtering pipeline and every downstream measurement
+can be exercised end to end (see DESIGN.md §2).
+"""
+
+from repro.corpus.documents import Document, GroundTruth, Thread, Corpus
+from repro.corpus.identity import Person, PersonFactory
+from repro.corpus.generator import CorpusBuilder, CorpusConfig
+
+__all__ = [
+    "Document",
+    "GroundTruth",
+    "Thread",
+    "Corpus",
+    "Person",
+    "PersonFactory",
+    "CorpusBuilder",
+    "CorpusConfig",
+]

@@ -1,0 +1,73 @@
+"""Text perturbation operators for evasion-robustness evaluation.
+
+Paper §3 notes that "determined doxers could use these open-sourced
+classifiers to reverse-engineer better doxing strategies to evade dox
+detectors".  These operators implement the cheap evasions an adversary
+would try first — character swaps, leetspeak, zero-effort obfuscation of
+separators — so the robustness harness can quantify the recall cost.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+_LEET = {"a": "4", "e": "3", "i": "1", "o": "0", "s": "5", "t": "7"}
+
+
+def typo_swap(text: str, rng: np.random.Generator, rate: float = 0.15) -> str:
+    """Swap adjacent characters inside words at the given per-char rate."""
+    chars = list(text)
+    i = 0
+    while i < len(chars) - 1:
+        if chars[i].isalpha() and chars[i + 1].isalpha() and rng.random() < rate:
+            chars[i], chars[i + 1] = chars[i + 1], chars[i]
+            i += 2
+        else:
+            i += 1
+    return "".join(chars)
+
+
+def leetspeak(text: str, rng: np.random.Generator, rate: float = 0.6) -> str:
+    """Replace a fraction of leet-able characters with digit lookalikes."""
+    return "".join(
+        _LEET[ch.lower()] if ch.lower() in _LEET and rng.random() < rate else ch
+        for ch in text
+    )
+
+
+def vowel_drop(text: str, rng: np.random.Generator, rate: float = 0.5) -> str:
+    """Drop vowels from words (rprtng hm nstd f reporting him)."""
+    return "".join(
+        "" if ch.lower() in "aeiou" and rng.random() < rate else ch for ch in text
+    )
+
+
+def spacing_attack(text: str, rng: np.random.Generator, rate: float = 0.3) -> str:
+    """Insert spaces inside words to break token boundaries (m a s s report)."""
+    out = []
+    for ch in text:
+        out.append(ch)
+        if ch.isalpha() and rng.random() < rate:
+            out.append(" ")
+    return "".join(out)
+
+
+def separator_swap(text: str, rng: np.random.Generator) -> str:
+    """Replace PII separators with lookalikes ((212) 555-0147 -> 212.555.0147)."""
+    return (
+        text.replace("-", ".")
+        .replace("(", "")
+        .replace(")", "")
+        .replace("@", " at ")
+    )
+
+
+PERTURBATIONS: Mapping[str, Callable[[str, np.random.Generator], str]] = {
+    "typo_swap": typo_swap,
+    "leetspeak": leetspeak,
+    "vowel_drop": vowel_drop,
+    "spacing_attack": spacing_attack,
+    "separator_swap": separator_swap,
+}

@@ -1,0 +1,12 @@
+"""Platform substrates: structural models of each platform family.
+
+``boards`` models threaded imageboards (the only platform with post
+ordering available to the study); ``chat``, ``gab``, ``pastes``, and
+``blogs`` model flat message/post streams with platform-appropriate
+channel/domain structure.
+"""
+
+from repro.corpus.platforms.boards import BoardsPlanner, PlantedSlot
+from repro.corpus.platforms.flat import FlatPlatformBuilder, date_range_seconds
+
+__all__ = ["BoardsPlanner", "PlantedSlot", "FlatPlatformBuilder", "date_range_seconds"]

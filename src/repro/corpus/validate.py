@@ -1,0 +1,60 @@
+"""Corpus validation: structural and calibration sanity checks.
+
+``validate_corpus`` returns a list of human-readable issues (empty when
+the corpus is healthy).  It runs after generation in the CLI and in tests;
+it is also useful on corpora loaded from JSONL that may have been edited.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.documents import Corpus
+from repro.types import Platform
+
+
+def validate_corpus(corpus: Corpus, strict: bool = False) -> list[str]:
+    """Check invariants; returns issues found (empty list = healthy).
+
+    ``strict`` additionally enforces calibration expectations (positives
+    present on every platform) that only full generated corpora satisfy.
+    """
+    issues: list[str] = []
+    seen_ids: set[int] = set()
+    n_dox = n_cth = 0
+    for doc in corpus:
+        if doc.doc_id in seen_ids:
+            issues.append(f"duplicate doc_id {doc.doc_id}")
+        seen_ids.add(doc.doc_id)
+        truth = doc.truth
+        if truth.cth_subtypes and not truth.is_cth:
+            issues.append(f"doc {doc.doc_id}: subtypes without is_cth")
+        if truth.pii_planted and not truth.is_dox:
+            issues.append(f"doc {doc.doc_id}: planted PII without is_dox")
+        if truth.hard_negative and (truth.is_dox or truth.is_cth):
+            issues.append(f"doc {doc.doc_id}: hard negative marked positive")
+        if doc.platform is Platform.BOARDS:
+            if doc.thread_id is None or doc.position is None:
+                issues.append(f"doc {doc.doc_id}: board post without thread position")
+        if doc.platform is Platform.PASTES and truth.is_cth:
+            issues.append(f"doc {doc.doc_id}: CTH planted on pastes (task excluded)")
+        n_dox += truth.is_dox
+        n_cth += truth.is_cth
+
+    for thread in corpus.threads:
+        positions = [p.position for p in thread.posts]
+        if positions != list(range(len(positions))):
+            issues.append(f"thread {thread.thread_id}: non-contiguous positions")
+            continue
+        stamps = [p.timestamp for p in thread.posts]
+        if stamps != sorted(stamps):
+            issues.append(f"thread {thread.thread_id}: timestamps out of order")
+
+    if strict:
+        counts = corpus.counts_by_platform()
+        for platform in Platform:
+            if counts[platform] == 0:
+                issues.append(f"platform {platform.value}: no documents")
+        if n_dox == 0:
+            issues.append("no doxes planted anywhere")
+        if n_cth == 0:
+            issues.append("no calls to harassment planted anywhere")
+    return issues

@@ -1,0 +1,321 @@
+"""Word and sentence banks for the synthetic text generator.
+
+The banks are deliberately mild paraphrases of the registers the paper
+describes: the goal is distributional realism for the classifiers (shared
+mobilising language, platform-specific register, topical variety), not
+faithful reproduction of abusive content.  No real slurs, names, or PII
+appear anywhere in these banks.
+"""
+
+from __future__ import annotations
+
+#: Mobilising-language openers (these power the Fig.-4 seed keyword query).
+MOBILIZING_OPENERS = (
+    "we need to",
+    "we should",
+    "lets",
+    "let's",
+    "we have to",
+    "we will",
+    "everyone needs to",
+    "all of us should",
+    "time for us to",
+    "we gotta",
+)
+
+#: Outgroup target references used in the seed query subclause.
+TARGET_REFERENCES = ("them", "him", "her", "all of them", "the entire group")
+
+#: Benign topics for filler posts, shared across platforms.
+BENIGN_TOPICS = (
+    "the new season of that show",
+    "yesterday's game",
+    "this build guide",
+    "the latest patch notes",
+    "my sourdough starter",
+    "the weather this week",
+    "that concert last night",
+    "the new graphics card",
+    "my commute this morning",
+    "the book I just finished",
+    "this recipe I tried",
+    "the local election results",
+    "my garden this spring",
+    "the framework update",
+    "that documentary everyone mentions",
+    "the trail I hiked",
+    "my fantasy league roster",
+    "the museum exhibit downtown",
+    "this keyboard I soldered",
+    "the podcast episode from monday",
+    "the server migration over the weekend",
+    "that speedrun world record attempt",
+    "the indie album that dropped friday",
+    "my attempt at fermented hot sauce",
+    "the traffic pattern change downtown",
+    "this mechanical watch I'm restoring",
+    "the open source release from yesterday",
+    "the farmers market haul this morning",
+    "that chess opening everyone plays now",
+    "the night sky photos from the meetup",
+    "my marathon training schedule",
+    "the price of eggs at the corner store",
+    "that conference keynote recording",
+    "the community garden plot lottery",
+    "this camera lens I found second hand",
+    "the bracket predictions for the tournament",
+    "my noise complaints about the construction",
+    "the firmware update for the router",
+    "that archived thread about typefaces",
+    "the carpool schedule for next month",
+)
+
+BENIGN_OPENERS = (
+    "anyone else following",
+    "just finished",
+    "honest thoughts on",
+    "can we talk about",
+    "finally got around to",
+    "not sure how I feel about",
+    "big fan of",
+    "underrated:",
+    "hot take on",
+    "quick question about",
+)
+
+BENIGN_CLOSERS = (
+    "thoughts?",
+    "would recommend.",
+    "curious what you all think.",
+    "might write more later.",
+    "anyway, back to work.",
+    "10/10 experience.",
+    "could be better honestly.",
+    "link in the usual place.",
+    "more updates soon.",
+    "that's all for now.",
+)
+
+#: Benign mobilising posts — the paper's canonical CTH false positive
+#: ("encouraging the crowd to contact their local elected representative").
+#: Deliberately shares tactic vocabulary (report, flag, raid, spam, expose,
+#: call, boycott) with real calls to harassment so the classifier faces the
+#: semantic nuance the paper describes in §5.4.
+BENIGN_MOBILIZING = (
+    "we need to contact our local representative about the zoning change",
+    "we should all sign the petition for the new bike lane",
+    "lets organize a cleanup day at the park this weekend",
+    "we have to show up to the city council meeting on tuesday",
+    "everyone needs to call their senator about the funding bill",
+    "we should donate to the food bank drive before friday",
+    "lets all vote in the primary next week, turnout matters",
+    "we need to email the school board about the bus schedule",
+    "all of us should volunteer for the shelter fundraiser",
+    "we will carpool to the town hall, reply if you need a seat",
+    "we should report this pothole to the city, all of them on elm street",
+    "lets all report the outage so they prioritize the fix for the entire block",
+    "we need to flag the broken links in the wiki so the mods can clean them up",
+    "everyone report your bugs in the tracker, all of them, even small ones",
+    "we should raid the dungeon at 9, bring him and her from the other guild",
+    "lets raid the boss tonight, we will need all of us online",
+    "we have to spam refresh to get tickets when the sale opens, all of us",
+    "we should call the landlord about the heating, all the tenants together",
+    "we need to email the airline about the refund, everyone who was on the flight",
+    "lets boycott the store until they fix the pricing, spread the word to them",
+    "we should expose the hidden fees in this contract so nobody gets burned",
+    "we will flood the suggestion box with requests for the feature, all of us",
+    "lets mass upvote her post so the devs finally see the bug report",
+    "we need to review the pull requests before friday, all of them",
+    "everyone should message their insurance about the new policy, tell them",
+    "we should track the package and report it lost if it misses the window",
+    "lets get him nominated for the community award, all of us voting",
+    "we need to flag her talk to the conference committee for the keynote slot",
+    "we should report the scam ads to the platform, flag every one of them",
+    "we will monitor the election results thread tonight, join us all",
+)
+
+#: Borderline negatives: benign by definition but lexically adjacent to
+#: real tactics (mass reporting spam bots, raiding a sale, flooding a
+#: feedback form).  Concentrated on boards/Gab, these create the
+#: irreducible confusion that pushes those sources' thresholds up (§5.5).
+BORDERLINE_NEGATIVES = (
+    "we should mass report the spam bots flooding the board to the admins",
+    "lets flag all the duplicate threads so the mods can merge them",
+    "we need to flood the feedback form with feature requests before friday",
+    "everyone pile into the community playtest tonight, all welcome",
+    "we should raid the clearance sale before the scalpers get everything",
+    "lets spam the refresh button when the tickets drop at noon",
+    "we will call out the bad moderation in the meta thread, all of us",
+    "we should track where the bot accounts come from and report the botnet",
+    "lets expose the plagiarized posts with side by side screenshots",
+    "we need to report the phishing campaign that targets users here",
+    "everyone flag the reposted leak threads so they get taken down",
+    "we should swarm the open beta this weekend and file bug reports",
+    "lets bury the spam wave in downvotes until the filters catch up",
+    "we need to blast the signal boost for the missing person report",
+    "we should hijack this dead thread for the weekly recap instead",
+)
+
+#: Tactic mirrors: near-verbatim copies of real tactic sentences with a
+#: *non-person* target (bots, spam accounts, dead threads).  These are the
+#: negatives a bag-of-ngrams model cannot separate — only judgement about
+#: the target can — and they are what forces boards/Gab thresholds high.
+TACTIC_MIRROR_NEGATIVES = (
+    "we need to mass report the scam bot until the platform bans it",
+    "lets flag its posts for policy violations, every single one is spam",
+    "everyone pile into the spam thread at 9 and bury it in reports",
+    "we should spam the report button on the phishing account nonstop",
+    "we have to report the bot network to its host with the evidence",
+    "lets raid the abandoned test server and archive it before shutdown",
+    "we should report every post the spambot makes until the account is gone",
+    "we need to flood the crawler's fake listings with takedown requests",
+    "lets mass-report the impersonation bot on twitter and youtube",
+    "we should track where the scraper goes and keep a log on it",
+    "everyone flag the stolen artwork reposts so the bots get banned",
+    "we will swarm the comment section cleanup, overwhelm the backlog",
+    "we need to dig up the bot operator's infrastructure and post it here",
+    "lets blast the report form with every spam wave screenshot we have",
+)
+
+#: Dox mirrors: dox-formatted posts about fictional or consenting subjects
+#: (joke self-doxes, character sheets) — formatted like doxes, labelled
+#: negative by experts.
+DOX_MIRROR_NEGATIVES = (
+    "dox of my cat | Name: Whiskers McGee | Address: the left couch cushion "
+    "| Phone: meow | known associates: the red dot",
+    "character sheet | Name: Sir Aldric of Thornbury | Address: 1 Keep Rd, "
+    "Castletown | occupation: knight errant | weakness: stairs",
+    "ok doxing myself for the meetup | Name: ask at the door | city: "
+    "Fairhaven | look for the blue jacket | email the organizers for details",
+    "npc file | Name: Gerald the Merchant | Address: market square stall 3 "
+    "| schedule: dawn to dusk | inventory respawns weekly",
+    "my fursona's full info | Name: Dusk Ironwood | den: old oak, north "
+    "forest | contact: howl twice",
+)
+
+#: Weak, oblique calls to harassment: mobilising intent without an explicit
+#: tactic sentence — hard positives for classifier and coder alike.
+WEAK_CTH = (
+    "you all know what to do about this one",
+    "the usual treatment for {handle}, get to it",
+    "handle him like we handled the last one",
+    "she needs the full package from us, no instructions necessary",
+    "time we gave them the usual welcome, all of us",
+    "deal with her the way only this board can",
+)
+
+#: Mild inflammatory filler for hostile-but-not-inciting posts.
+HOSTILE_FILLER = (
+    "this person is the worst poster on the site",
+    "absolute clown behavior from these people again",
+    "imagine defending that take, embarrassing",
+    "these mods are useless as always",
+    "that community is a lost cause",
+    "pathetic thread, pathetic people",
+    "cannot believe anyone takes this guy seriously",
+    "this channel has gone completely downhill",
+)
+
+#: Board-flavoured filler fragments.
+BOARD_FILLER = (
+    "op here, posting again because the last thread hit the limit",
+    "inb4 the usual replies",
+    "screenshot before it gets deleted",
+    "archive link or it didn't happen",
+    "sage goes in all fields",
+    "lurk more before posting",
+    "checked. anyway,",
+    "this thread again? fine,",
+)
+
+#: Gab-flavoured hashtags.
+GAB_HASHTAGS = (
+    "#speakfreely",
+    "#exposed",
+    "#nofilter",
+    "#truth",
+    "#wakeup",
+    "#trending",
+    "#boycott",
+    "#spread",
+)
+
+#: Chat-flavoured interjections.
+CHAT_FILLER = (
+    "lol",
+    "lmao",
+    "based",
+    "fr",
+    "ngl",
+    "bruh",
+    "^this",
+    "pin this",
+)
+
+#: Code-paste scaffolding for benign paste documents.
+PASTE_CODE_SNIPPETS = (
+    "def parse_config(path):\n    with open(path) as handle:\n        return json.load(handle)",
+    "SELECT user_id, created_at FROM sessions WHERE expired = 0 ORDER BY created_at DESC;",
+    "for host in $(cat hosts.txt); do ping -c1 $host >/dev/null && echo $host up; done",
+    "const debounce = (fn, ms) => { let t; return (...a) => { clearTimeout(t); t = setTimeout(() => fn(...a), ms); }; };",
+    "class LRUCache:\n    def __init__(self, size):\n        self.size = size\n        self.data = OrderedDict()",
+    "curl -s https://api.example.test/v1/status | jq '.services[] | select(.state != \"ok\")'",
+    "#!/bin/sh\nset -eu\ntar czf backup-$(date +%F).tgz /srv/data",
+    "import numpy as np\nwindow = np.hanning(256)\nspectrum = np.fft.rfft(signal * window)",
+)
+
+#: Database-dump scaffolding: long technical pastes the paper explicitly
+#: excludes from the doxing category even though they contain emails.
+PASTE_DB_DUMP_HEADER = (
+    "-- MySQL dump 10.13  Distrib 8.0",
+    "-- PostgreSQL database dump",
+    "INSERT INTO `users` (`id`, `email`, `hash`) VALUES",
+)
+
+#: Dox document section headers, in the style Snyder et al. report.
+DOX_HEADERS = (
+    "==== DOX ====",
+    "***** INFO DROP *****",
+    "--- full info below ---",
+    "[ personal info ]",
+    "=== know your enemy ===",
+    "##### the file #####",
+)
+
+DOX_FIELD_LABELS = {
+    "name": ("Name", "Full name", "Real name", "IRL name"),
+    "address": ("Address", "Addr", "Location", "Lives at"),
+    "phone": ("Phone", "Cell", "Phone number", "Tel"),
+    "email": ("Email", "E-mail", "Mail"),
+    "ssn": ("SSN", "Social", "Social security"),
+    "credit_card": ("CC", "Card", "Card number"),
+    "facebook": ("Facebook", "FB"),
+    "instagram": ("Instagram", "IG", "Insta"),
+    "twitter": ("Twitter", "Twtr"),
+    "youtube": ("YouTube", "YT channel"),
+    "employer": ("Works at", "Employer", "Job"),
+    "family": ("Family", "Relatives", "Next of kin"),
+}
+
+#: Narrative openers for dox documents (the "who this is and why" part the
+#: paper observes on blogs and long pastes).
+DOX_NARRATIVES = (
+    "this is the person who has been brigading our threads for weeks",
+    "compiled everything on the admin of that channel",
+    "the one behind the spam wave, everything checks out",
+    "info on the organizer of last week's rally",
+    "this account has been harassing members for months, here is who runs it",
+    "full rundown on the moderator who banned everyone yesterday",
+    "someone asked for the file on this streamer, here it is",
+    "the person behind the sockpuppet accounts, confirmed twice",
+)
+
+#: Sign-offs appended to some doxes.
+DOX_SIGNOFFS = (
+    "do with this what you will",
+    "verified by two of us",
+    "more to come when we find it",
+    "spread this before it gets taken down",
+    "drop anything else you find below",
+    "",
+)

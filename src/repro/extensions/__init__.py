@@ -1,0 +1,31 @@
+"""Extensions: the paper's §9.2 future-work directions, implemented.
+
+* :mod:`per_attack` — "extend our classifiers to detect each type of
+  attack separately": one-vs-rest per-attack-type classifiers.
+* :mod:`cross_platform` — "the dynamics of cross-platform calls to
+  harassment": target-linkage graphs over extracted handles (networkx).
+* :mod:`escalation` — "how threads progress into calls to harassment":
+  thread escalation curves on the board substrate.
+* :mod:`longitudinal` — "longitudinal analysis of calls to harassment":
+  time-bucketed volume and attack-mix trends.
+"""
+
+from repro.extensions.per_attack import PerAttackTypeClassifier, evaluate_per_attack
+from repro.extensions.cross_platform import (
+    TargetLinkageGraph,
+    build_target_linkage,
+)
+from repro.extensions.escalation import escalation_curve, EscalationCurve
+from repro.extensions.longitudinal import monthly_volume, trend_test, TrendResult
+
+__all__ = [
+    "PerAttackTypeClassifier",
+    "evaluate_per_attack",
+    "TargetLinkageGraph",
+    "build_target_linkage",
+    "escalation_curve",
+    "EscalationCurve",
+    "monthly_volume",
+    "trend_test",
+    "TrendResult",
+]

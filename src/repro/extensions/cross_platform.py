@@ -1,0 +1,100 @@
+"""Cross-platform target linkage (paper §9.2, researchers).
+
+The paper suggests studying "the dynamics of cross-platform calls to
+harassment".  This extension links detected documents (calls to harassment
+and doxes) that reference the same social-media handle into a target
+linkage graph, then measures how campaigns span platforms: component
+sizes, platform composition, and the share of targets attacked on more
+than one platform.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Sequence
+
+import networkx as nx
+
+from repro.corpus.documents import Document
+from repro.extraction.pii import extract_pii
+from repro.types import Platform
+
+OSN_CATEGORIES = ("facebook", "instagram", "twitter", "youtube")
+
+
+@dataclasses.dataclass(frozen=True)
+class TargetLinkageGraph:
+    """Analysis results over the handle-linkage graph."""
+
+    n_documents: int
+    n_linked_documents: int
+    n_components: int
+    #: component size (documents) -> number of components
+    component_size_histogram: Mapping[int, int]
+    #: number of platforms spanned -> number of components
+    platform_span_histogram: Mapping[int, int]
+    #: the largest campaign: (n documents, platforms involved)
+    largest_campaign: tuple[int, tuple[Platform, ...]]
+
+    @property
+    def cross_platform_components(self) -> int:
+        return sum(
+            count for span, count in self.platform_span_histogram.items() if span > 1
+        )
+
+    @property
+    def cross_platform_share(self) -> float:
+        if self.n_components == 0:
+            return 0.0
+        return self.cross_platform_components / self.n_components
+
+
+def build_target_linkage(documents: Sequence[Document]) -> TargetLinkageGraph:
+    """Build the handle-linkage graph and summarise its campaigns.
+
+    Nodes are documents; an edge joins two documents that contain the same
+    extracted social-media handle.  Handles themselves are intermediate
+    nodes during construction (a bipartite projection), which keeps the
+    construction linear in total handle references.
+    """
+    graph: nx.Graph = nx.Graph()
+    for index, doc in enumerate(documents):
+        extracted = extract_pii(doc.text)
+        handles = [
+            (category, value.lower())
+            for category in OSN_CATEGORIES
+            for value in extracted.get(category, ())
+        ]
+        if not handles:
+            continue
+        doc_node = ("doc", index)
+        graph.add_node(doc_node, platform=doc.platform)
+        for handle in handles:
+            graph.add_edge(doc_node, ("handle", handle))
+
+    size_histogram: dict[int, int] = {}
+    span_histogram: dict[int, int] = {}
+    n_linked = 0
+    n_components = 0
+    largest = (0, ())
+    for component in nx.connected_components(graph):
+        doc_nodes = [n for n in component if n[0] == "doc"]
+        if len(doc_nodes) < 2:
+            continue  # a lone document linked only to its own handles
+        n_components += 1
+        n_linked += len(doc_nodes)
+        size_histogram[len(doc_nodes)] = size_histogram.get(len(doc_nodes), 0) + 1
+        platforms = tuple(sorted(
+            {graph.nodes[n]["platform"] for n in doc_nodes}, key=lambda p: p.value
+        ))
+        span_histogram[len(platforms)] = span_histogram.get(len(platforms), 0) + 1
+        if len(doc_nodes) > largest[0]:
+            largest = (len(doc_nodes), platforms)
+    return TargetLinkageGraph(
+        n_documents=len(documents),
+        n_linked_documents=n_linked,
+        n_components=n_components,
+        component_size_histogram=size_histogram,
+        platform_span_histogram=span_histogram,
+        largest_campaign=largest,
+    )

@@ -1,0 +1,85 @@
+"""Thread escalation analysis (paper §6.3 future work).
+
+"Future work could explore the ways in which threads on the boards ...
+progress into calls to harassment."  This extension measures exactly
+that: for board threads containing a call to harassment, the cumulative
+probability that the *first* call has appeared by relative thread position
+t ∈ [0, 1], plus how escalation probability grows with thread size.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from repro.corpus.documents import Corpus, Document
+
+
+@dataclasses.dataclass(frozen=True)
+class EscalationCurve:
+    """Cumulative first-CTH arrival over relative thread position."""
+
+    #: Relative positions (grid over [0, 1]).
+    grid: np.ndarray
+    #: P(first CTH has appeared by relative position t | thread has one).
+    cumulative: np.ndarray
+    #: (thread-size bucket lower bound, escalation probability) pairs:
+    #: P(thread contains a CTH | size in bucket).
+    escalation_by_size: tuple[tuple[int, float], ...]
+    n_threads_with_cth: int
+
+    def probability_by(self, relative_position: float) -> float:
+        if not 0.0 <= relative_position <= 1.0:
+            raise ValueError("relative position must be in [0, 1]")
+        index = int(np.searchsorted(self.grid, relative_position, side="right")) - 1
+        if index < 0:
+            return 0.0
+        return float(self.cumulative[index])
+
+
+SIZE_BUCKETS = (1, 5, 20, 50, 100, 300, 1000)
+
+
+def escalation_curve(
+    corpus: Corpus,
+    cth_documents: Sequence[Document],
+    grid_points: int = 50,
+) -> EscalationCurve:
+    """Measure how threads devolve into calls to harassment."""
+    cth_doc_ids = {d.doc_id for d in cth_documents}
+    first_relative: list[float] = []
+    threads_with = set()
+    bucket_counts = {b: [0, 0] for b in SIZE_BUCKETS}  # with cth, total
+    for thread in corpus.threads:
+        size = thread.size
+        bucket = max(b for b in SIZE_BUCKETS if b <= size)
+        bucket_counts[bucket][1] += 1
+        first = None
+        for doc in thread.posts:
+            if doc.doc_id in cth_doc_ids:
+                first = doc.position
+                break
+        if first is None:
+            continue
+        threads_with.add(thread.thread_id)
+        bucket_counts[bucket][0] += 1
+        denominator = max(size - 1, 1)
+        first_relative.append(first / denominator)
+    if not first_relative:
+        raise ValueError("no threads contain any of the given CTH documents")
+    grid = np.linspace(0.0, 1.0, grid_points)
+    arrivals = np.sort(np.asarray(first_relative))
+    cumulative = np.searchsorted(arrivals, grid, side="right") / arrivals.size
+    by_size = tuple(
+        (bucket, with_count / total if total else 0.0)
+        for bucket, (with_count, total) in sorted(bucket_counts.items())
+        if total > 0
+    )
+    return EscalationCurve(
+        grid=grid,
+        cumulative=cumulative,
+        escalation_by_size=by_size,
+        n_threads_with_cth=len(threads_with),
+    )

@@ -1,0 +1,99 @@
+"""Longitudinal analysis of calls to harassment (paper §9.2).
+
+"Longitudinal analysis of calls to harassment could provide insights into
+new attack types, and whether these online fringe communities are
+influenced by offline trends and events."  This extension buckets detected
+documents into calendar months, measures per-platform volume trends with a
+least-squares slope and a permutation test, and tracks the attack-type mix
+over time windows to surface emerging tactics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime as dt
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.corpus.documents import Document
+from repro.taxonomy.attack_types import AttackType
+from repro.taxonomy.coding import CodedDocument
+from repro.types import Platform
+from repro.util.rng import child_rng
+
+
+def _month_key(timestamp: float) -> str:
+    stamp = dt.datetime.fromtimestamp(timestamp, tz=dt.timezone.utc)
+    return f"{stamp.year:04d}-{stamp.month:02d}"
+
+
+def monthly_volume(
+    documents: Sequence[Document], platform: Platform | None = None
+) -> dict[str, int]:
+    """Detected-document counts per calendar month (sorted keys)."""
+    counts: dict[str, int] = {}
+    for doc in documents:
+        if platform is not None and doc.platform is not platform:
+            continue
+        key = _month_key(doc.timestamp)
+        counts[key] = counts.get(key, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+@dataclasses.dataclass(frozen=True)
+class TrendResult:
+    """Least-squares slope over monthly counts + permutation p-value."""
+
+    slope: float  # documents per month
+    p_value: float
+    n_months: int
+
+    @property
+    def increasing(self) -> bool:
+        return self.slope > 0 and self.p_value < 0.05
+
+
+def trend_test(
+    counts_by_month: Mapping[str, int], n_permutations: int = 2_000, seed: int = 0
+) -> TrendResult:
+    """Is monthly volume trending?  Permutation test on the LS slope."""
+    values = np.array(list(counts_by_month.values()), dtype=np.float64)
+    if values.size < 3:
+        raise ValueError("need at least three months for a trend test")
+    x = np.arange(values.size, dtype=np.float64)
+    x -= x.mean()
+    slope = float((x * (values - values.mean())).sum() / (x * x).sum())
+    rng = child_rng(seed, "trend-permutation")
+    exceed = 0
+    for _ in range(n_permutations):
+        permuted = rng.permutation(values)
+        permuted_slope = float((x * (permuted - permuted.mean())).sum() / (x * x).sum())
+        if abs(permuted_slope) >= abs(slope):
+            exceed += 1
+    return TrendResult(
+        slope=slope,
+        p_value=(exceed + 1) / (n_permutations + 1),
+        n_months=values.size,
+    )
+
+
+def attack_mix_over_time(
+    coded: Sequence[CodedDocument], n_windows: int = 4
+) -> list[dict[AttackType, float]]:
+    """Attack-type share per equal-count time window (emerging tactics)."""
+    if not coded:
+        raise ValueError("empty coded set")
+    if n_windows < 1:
+        raise ValueError("n_windows must be positive")
+    ordered = sorted(coded, key=lambda c: c.document.timestamp)
+    windows = np.array_split(np.arange(len(ordered)), n_windows)
+    mixes = []
+    for window in windows:
+        counts: dict[AttackType, int] = {}
+        for i in window:
+            for parent in ordered[int(i)].parents:
+                counts[parent] = counts.get(parent, 0) + 1
+        total = max(len(window), 1)
+        mixes.append({attack: count / total for attack, count in counts.items()})
+    return mixes

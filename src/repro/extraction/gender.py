@@ -1,0 +1,59 @@
+"""Pronoun-based target gender inference (paper §5.6).
+
+The likely gender of a dox/CTH target is inferred from the pronoun group
+that occurs most frequently in the text: "he/him/his" versus
+"she/her/hers".  Ties and pronoun-free texts yield UNKNOWN.  The paper
+reports 94.3 % agreement with the actual target on a labelled sample; the
+method can be wrong when the attacker misgenders the target (itself a
+harassment tactic, "deadnaming").
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from repro.corpus.documents import Document
+from repro.types import Gender
+
+_MALE_RE = re.compile(r"\b(?:he|him|his)\b", re.IGNORECASE)
+_FEMALE_RE = re.compile(r"\b(?:she|her|hers)\b", re.IGNORECASE)
+
+
+def pronoun_counts(text: str) -> tuple[int, int]:
+    """(male-group count, female-group count) for ``text``."""
+    return len(_MALE_RE.findall(text)), len(_FEMALE_RE.findall(text))
+
+
+def infer_gender(text: str) -> Gender:
+    """Majority pronoun group, or UNKNOWN on ties/no pronouns."""
+    male, female = pronoun_counts(text)
+    if male > female:
+        return Gender.MALE
+    if female > male:
+        return Gender.FEMALE
+    return Gender.UNKNOWN
+
+
+def evaluate_gender_inference(documents: Iterable[Document]) -> dict[str, float]:
+    """Accuracy of pronoun inference on documents with a known target.
+
+    Only documents whose ground truth records a gendered target *and*
+    whose text contains pronouns enter the denominator, matching the
+    paper's evaluation ("a sample of doxes ... that contained pronouns").
+    """
+    n = 0
+    correct = 0
+    for doc in documents:
+        truth_gender = doc.truth.target_gender
+        if truth_gender is Gender.UNKNOWN:
+            continue
+        inferred = infer_gender(doc.text)
+        if inferred is Gender.UNKNOWN:
+            continue
+        n += 1
+        if inferred is truth_gender:
+            correct += 1
+    if n == 0:
+        raise ValueError("no gendered documents with pronouns to evaluate")
+    return {"accuracy": correct / n, "n_evaluated": float(n)}

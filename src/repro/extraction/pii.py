@@ -1,0 +1,143 @@
+"""PII extraction with 12 precision-optimised regular expressions (§5.6).
+
+The paper extracts nine PII categories: US street addresses, credit-card
+numbers (one pattern per issuer, for precision), email addresses, Facebook
+profiles, Instagram profiles, US phone numbers, US SSNs, Twitter handles,
+and YouTube channels.  Social-media profiles use two pattern styles:
+
+* profile URLs, with a stopword list removing reserved site-functionality
+  paths that share the user-profile URL shape, and
+* ``platform-name: username`` label style, with per-platform username
+  grammars taken from each platform's documented rules.
+
+All patterns are deliberately precision-first, matching the paper's
+reported >= 95 % accuracy on a labelled dox sample.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Mapping, Sequence
+
+from repro.corpus.documents import Document
+
+_STREET_TYPES = r"(?:St|Ave|Blvd|Dr|Ln|Rd|Ct|Way|Street|Avenue|Boulevard|Drive|Lane|Road|Court)"
+
+#: Reserved path segments that look like profile URLs but are not.
+_FACEBOOK_STOPWORDS = (
+    "login", "pages", "groups", "events", "marketplace", "watch", "help",
+    "privacy", "settings", "friends", "photos", "sharer", "share",
+)
+_INSTAGRAM_STOPWORDS = ("explore", "accounts", "about", "developer", "directory", "legal")
+_TWITTER_STOPWORDS = ("home", "search", "explore", "settings", "i", "intent", "hashtag", "share")
+
+def _url_pattern(domain: str, username: str, stopwords: Sequence[str]) -> re.Pattern[str]:
+    stop = "|".join(stopwords)
+    return re.compile(
+        rf"(?:https?://)?(?:www\.)?{domain}/(?!(?:{stop})\b)({username})",
+        re.IGNORECASE,
+    )
+
+def _label_pattern(names: str, username: str) -> re.Pattern[str]:
+    # The negative lookahead keeps "Facebook: https://facebook.com/x" from
+    # capturing "https" as a username (the URL pattern handles that form).
+    return re.compile(
+        rf"\b(?:{names})\s*[:\-]\s*(?!https?://)@?({username})", re.IGNORECASE
+    )
+
+
+#: The 12 regular expressions, grouped into the 9 PII categories.
+PII_EXTRACTORS: Mapping[str, tuple[re.Pattern[str], ...]] = {
+    "address": (
+        re.compile(
+            rf"\b\d{{1,5}}\s+[A-Z][A-Za-z]+\s+{_STREET_TYPES}\b"
+            rf"(?:\s*,\s*[A-Z][A-Za-z ]+,?\s+[A-Z]{{2}}\s+\d{{5}}(?:-\d{{4}})?)?"
+        ),
+    ),
+    "credit_card": (
+        re.compile(r"\b4\d{3}[ -]?\d{4}[ -]?\d{4}[ -]?\d{4}\b"),  # Visa
+        re.compile(r"\b5[1-5]\d{2}[ -]?\d{4}[ -]?\d{4}[ -]?\d{4}\b"),  # Mastercard
+        re.compile(r"\b3[47]\d{2}[ -]?\d{6}[ -]?\d{5}\b"),  # Amex
+        re.compile(r"\b6(?:011|5\d{2})[ -]?\d{4}[ -]?\d{4}[ -]?\d{4}\b"),  # Discover
+    ),
+    "email": (
+        re.compile(r"\b[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}\b"),
+    ),
+    "facebook": (
+        _url_pattern(r"facebook\.com", r"[A-Za-z0-9.]{5,50}", _FACEBOOK_STOPWORDS),
+        _label_pattern("facebook|fb", r"[A-Za-z0-9.]{5,50}"),
+    ),
+    "instagram": (
+        _url_pattern(r"instagram\.com", r"[A-Za-z0-9_.]{2,30}", _INSTAGRAM_STOPWORDS),
+        _label_pattern("instagram|ig|insta", r"[A-Za-z0-9_.]{2,30}"),
+    ),
+    "phone": (
+        re.compile(r"(?<![\d-])\(?\d{3}\)?[ .-]?\d{3}[ .-]\d{4}(?![\d-])"),
+    ),
+    "ssn": (
+        re.compile(r"(?<![\d-])\d{3}-\d{2}-\d{4}(?![\d-])"),
+    ),
+    "twitter": (
+        _url_pattern(r"twitter\.com", r"[A-Za-z0-9_]{1,15}", _TWITTER_STOPWORDS),
+        _label_pattern("twitter|twtr", r"[A-Za-z0-9_]{1,15}"),
+    ),
+    "youtube": (
+        re.compile(
+            r"(?:https?://)?(?:www\.)?youtube\.com/(?:c/|channel/|user/|@)([A-Za-z0-9_-]{2,60})",
+            re.IGNORECASE,
+        ),
+        _label_pattern(r"youtube|yt channel|yt", r"[A-Za-z0-9_-]{2,60}"),
+    ),
+}
+
+#: Total number of compiled patterns — the paper's "12 regular expressions"
+#: counts the social-URL and label styles jointly per category; this
+#: implementation exposes the full per-issuer/per-style breakdown.
+N_PATTERNS = sum(len(patterns) for patterns in PII_EXTRACTORS.values())
+
+
+def extract_pii(text: str) -> dict[str, list[str]]:
+    """All PII matches per category (deduplicated, order preserved)."""
+    found: dict[str, list[str]] = {}
+    for category, patterns in PII_EXTRACTORS.items():
+        values: list[str] = []
+        for pattern in patterns:
+            for match in pattern.finditer(text):
+                value = match.group(1) if match.groups() else match.group(0)
+                if value not in values:
+                    values.append(value)
+        if values:
+            found[category] = values
+    return found
+
+
+def pii_categories_present(text: str) -> frozenset[str]:
+    """Which PII categories appear in ``text`` (presence only; faster)."""
+    present = set()
+    for category, patterns in PII_EXTRACTORS.items():
+        if any(pattern.search(text) for pattern in patterns):
+            present.add(category)
+    return frozenset(present)
+
+
+def evaluate_extractors(documents: Iterable[Document]) -> dict[str, float]:
+    """Per-category presence accuracy against planted ground truth.
+
+    Mirrors the paper's evaluation on a labelled dox sample: for each
+    category, the fraction of documents where extracted presence equals
+    planted presence.
+    """
+    totals: dict[str, int] = {c: 0 for c in PII_EXTRACTORS}
+    correct: dict[str, int] = {c: 0 for c in PII_EXTRACTORS}
+    n = 0
+    for doc in documents:
+        n += 1
+        planted = set(doc.truth.pii_planted)
+        present = pii_categories_present(doc.text)
+        for category in PII_EXTRACTORS:
+            totals[category] += 1
+            if (category in planted) == (category in present):
+                correct[category] += 1
+    if n == 0:
+        raise ValueError("no documents to evaluate")
+    return {c: correct[c] / totals[c] for c in PII_EXTRACTORS}

@@ -1,0 +1,38 @@
+"""From-scratch NLP substrate (tokenizer, features, models, metrics).
+
+This package replaces the paper's distilBERT stack (see DESIGN.md §2):
+a trainable subword tokenizer, span strategies for long documents, a
+hashed n-gram vectorizer, a logistic-regression filter model, a naive-
+Bayes baseline, and a small trainable transformer encoder.
+"""
+
+from repro.nlp.tokenize import tokenize, TokenCache
+from repro.nlp.features import HashingVectorizer
+from repro.nlp.spans import SpanStrategy, make_spans
+from repro.nlp.metrics import (
+    binary_classification_report,
+    cohens_kappa,
+    precision_recall_f1,
+    roc_auc,
+)
+from repro.nlp.models.base import TextClassifier
+from repro.nlp.models.logreg import LogisticRegressionClassifier
+from repro.nlp.models.naive_bayes import NaiveBayesClassifier
+from repro.nlp.models.transformer import TransformerClassifier, TransformerConfig
+
+__all__ = [
+    "tokenize",
+    "TokenCache",
+    "HashingVectorizer",
+    "SpanStrategy",
+    "make_spans",
+    "binary_classification_report",
+    "cohens_kappa",
+    "precision_recall_f1",
+    "roc_auc",
+    "TextClassifier",
+    "LogisticRegressionClassifier",
+    "NaiveBayesClassifier",
+    "TransformerClassifier",
+    "TransformerConfig",
+]

@@ -1,0 +1,91 @@
+"""Probability calibration diagnostics.
+
+The pipeline's active-learning sampler stratifies by predicted-probability
+deciles and the threshold search treats scores as probabilities, so the
+filter model's calibration matters.  This module computes reliability
+curves and expected calibration error (ECE) for any scored set.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class ReliabilityCurve:
+    """Binned reliability diagram data."""
+
+    bin_edges: np.ndarray  # (n_bins + 1,)
+    bin_confidence: np.ndarray  # mean predicted probability per bin (nan if empty)
+    bin_accuracy: np.ndarray  # empirical positive rate per bin (nan if empty)
+    bin_counts: np.ndarray
+
+    @property
+    def expected_calibration_error(self) -> float:
+        """Count-weighted |confidence - accuracy| over non-empty bins."""
+        mask = self.bin_counts > 0
+        if not mask.any():
+            return 0.0
+        gaps = np.abs(self.bin_confidence[mask] - self.bin_accuracy[mask])
+        weights = self.bin_counts[mask] / self.bin_counts[mask].sum()
+        return float((gaps * weights).sum())
+
+    @property
+    def max_calibration_error(self) -> float:
+        mask = self.bin_counts > 0
+        if not mask.any():
+            return 0.0
+        return float(np.abs(self.bin_confidence[mask] - self.bin_accuracy[mask]).max())
+
+
+def reliability_curve(
+    y_true: np.ndarray | list, scores: np.ndarray | list, n_bins: int = 10
+) -> ReliabilityCurve:
+    """Bin predictions into equal-width probability ranges."""
+    if n_bins < 2:
+        raise ValueError("n_bins must be at least 2")
+    y = np.asarray(y_true, dtype=bool)
+    s = np.asarray(scores, dtype=np.float64)
+    if y.shape != s.shape:
+        raise ValueError("labels and scores must align")
+    if s.size == 0:
+        raise ValueError("empty score set")
+    if np.any((s < 0) | (s > 1)):
+        raise ValueError("scores must be probabilities in [0, 1]")
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    bins = np.minimum((s * n_bins).astype(np.int64), n_bins - 1)
+    confidence = np.full(n_bins, np.nan)
+    accuracy = np.full(n_bins, np.nan)
+    counts = np.zeros(n_bins, dtype=np.int64)
+    for b in range(n_bins):
+        mask = bins == b
+        counts[b] = int(mask.sum())
+        if counts[b]:
+            confidence[b] = float(s[mask].mean())
+            accuracy[b] = float(y[mask].mean())
+    return ReliabilityCurve(
+        bin_edges=edges, bin_confidence=confidence,
+        bin_accuracy=accuracy, bin_counts=counts,
+    )
+
+
+def render_reliability(curve: ReliabilityCurve) -> str:
+    """Plain-text reliability diagram."""
+    lines = ["bin        n        conf    acc     gap"]
+    for b in range(curve.bin_counts.size):
+        lo = curve.bin_edges[b]
+        hi = curve.bin_edges[b + 1]
+        if curve.bin_counts[b] == 0:
+            lines.append(f"[{lo:.1f},{hi:.1f})  {'-':>8}")
+            continue
+        conf = curve.bin_confidence[b]
+        acc = curve.bin_accuracy[b]
+        lines.append(
+            f"[{lo:.1f},{hi:.1f})  {curve.bin_counts[b]:>8,}  {conf:.3f}  {acc:.3f}  "
+            f"{abs(conf - acc):+.3f}"
+        )
+    lines.append(f"ECE = {curve.expected_calibration_error:.4f}  "
+                 f"MCE = {curve.max_calibration_error:.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Hashed n-gram feature extraction over token-hash arrays.
+
+The vectorizer maps each document (a uint64 token-hash array from
+:class:`repro.nlp.tokenize.TokenCache`) to a sparse row of unigram and
+bigram counts in a fixed ``2**n_bits`` feature space.  No vocabulary is
+fitted, so features can be computed once per corpus and shared by every
+training round of the pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.nlp.tokenize import TokenCache, hash_tokens, tokenize
+
+#: Multiplier used to mix bigram halves (Knuth's 64-bit constant).
+_MIX = np.uint64(0x9E3779B97F4A7C15)
+
+
+class HashingVectorizer:
+    """Unigram+bigram hashing vectorizer producing L2-normalised CSR rows."""
+
+    def __init__(self, n_bits: int = 18, use_bigrams: bool = True) -> None:
+        if not 8 <= n_bits <= 26:
+            raise ValueError(f"n_bits must be in [8, 26], got {n_bits}")
+        self.n_bits = n_bits
+        self.use_bigrams = use_bigrams
+
+    @property
+    def n_features(self) -> int:
+        return 1 << self.n_bits
+
+    def _feature_ids(self, hashes: np.ndarray) -> np.ndarray:
+        """Map a token-hash array to hashed unigram (+bigram) feature ids."""
+        mask = np.uint64(self.n_features - 1)
+        ids = hashes & mask
+        if self.use_bigrams and hashes.size >= 2:
+            bigrams = ((hashes[:-1] * _MIX) ^ hashes[1:]) & mask
+            ids = np.concatenate([ids, bigrams])
+        return ids.astype(np.int64)
+
+    def transform_hashes(self, hash_arrays: Sequence[np.ndarray]) -> sparse.csr_matrix:
+        """Vectorize pre-hashed documents (or spans) into one CSR matrix."""
+        indptr = [0]
+        indices_parts: list[np.ndarray] = []
+        data_parts: list[np.ndarray] = []
+        for hashes in hash_arrays:
+            if hashes.size == 0:
+                indptr.append(indptr[-1])
+                continue
+            ids = self._feature_ids(hashes)
+            uniq, counts = np.unique(ids, return_counts=True)
+            values = counts.astype(np.float64)
+            norm = np.sqrt((values * values).sum())
+            values /= norm
+            indices_parts.append(uniq)
+            data_parts.append(values)
+            indptr.append(indptr[-1] + uniq.size)
+        if indices_parts:
+            indices = np.concatenate(indices_parts)
+            data = np.concatenate(data_parts)
+        else:
+            indices = np.empty(0, dtype=np.int64)
+            data = np.empty(0, dtype=np.float64)
+        return sparse.csr_matrix(
+            (data, indices, np.array(indptr, dtype=np.int64)),
+            shape=(len(hash_arrays), self.n_features),
+        )
+
+    def transform_cache(self, cache: TokenCache) -> sparse.csr_matrix:
+        return self.transform_hashes(cache.arrays)
+
+    def transform_texts(self, texts: Sequence[str]) -> sparse.csr_matrix:
+        return self.transform_hashes([hash_tokens(tokenize(t)) for t in texts])

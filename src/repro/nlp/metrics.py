@@ -1,0 +1,113 @@
+"""Evaluation metrics: P/R/F1 reports (Table 3 format), AUC-ROC, kappa."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+
+def _as_bool(y: np.ndarray | list) -> np.ndarray:
+    arr = np.asarray(y)
+    if arr.dtype != bool:
+        arr = arr.astype(bool)
+    return arr
+
+
+def precision_recall_f1(
+    y_true: np.ndarray | list, y_pred: np.ndarray | list, positive: bool = True
+) -> dict[str, float]:
+    """Precision/recall/F1 for one class of a binary problem."""
+    t = _as_bool(y_true) == positive
+    p = _as_bool(y_pred) == positive
+    tp = int(np.sum(t & p))
+    fp = int(np.sum(~t & p))
+    fn = int(np.sum(t & ~p))
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return {"precision": precision, "recall": recall, "f1": f1, "support": int(np.sum(t))}
+
+
+def binary_classification_report(
+    y_true: np.ndarray | list,
+    y_pred: np.ndarray | list,
+    positive_name: str = "positive",
+    negative_name: str = "negative",
+) -> dict[str, Mapping[str, float]]:
+    """A report shaped like the paper's Table 3.
+
+    Rows: positive class, negative class, weighted average, macro average —
+    each with precision, recall, and F1.
+    """
+    pos = precision_recall_f1(y_true, y_pred, positive=True)
+    neg = precision_recall_f1(y_true, y_pred, positive=False)
+    total = pos["support"] + neg["support"]
+    if total == 0:
+        raise ValueError("empty evaluation set")
+    weighted = {
+        key: (pos[key] * pos["support"] + neg[key] * neg["support"]) / total
+        for key in ("precision", "recall", "f1")
+    }
+    macro = {key: (pos[key] + neg[key]) / 2 for key in ("precision", "recall", "f1")}
+    return {
+        positive_name: pos,
+        negative_name: neg,
+        "weighted_avg": weighted,
+        "macro_avg": macro,
+    }
+
+
+def roc_auc(y_true: np.ndarray | list, scores: np.ndarray | list) -> float:
+    """AUC-ROC via the rank statistic (Mann–Whitney U), ties averaged."""
+    t = _as_bool(y_true)
+    s = np.asarray(scores, dtype=np.float64)
+    n_pos = int(t.sum())
+    n_neg = int((~t).sum())
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_auc needs both classes present")
+    order = np.argsort(s, kind="mergesort")
+    ranks = np.empty_like(s)
+    sorted_scores = s[order]
+    # average ranks over ties
+    rank_values = np.arange(1, s.size + 1, dtype=np.float64)
+    i = 0
+    while i < s.size:
+        j = i
+        while j + 1 < s.size and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        rank_values[i : j + 1] = (i + 1 + j + 1) / 2.0
+        i = j + 1
+    ranks[order] = rank_values
+    pos_rank_sum = float(ranks[t].sum())
+    u = pos_rank_sum - n_pos * (n_pos + 1) / 2.0
+    return u / (n_pos * n_neg)
+
+
+def cohens_kappa(labels_a: np.ndarray | list, labels_b: np.ndarray | list) -> float:
+    """Cohen's kappa for two annotators over the same items."""
+    a = np.asarray(labels_a)
+    b = np.asarray(labels_b)
+    if a.shape != b.shape:
+        raise ValueError("annotator label arrays must align")
+    if a.size == 0:
+        raise ValueError("kappa of an empty set is undefined")
+    categories = np.unique(np.concatenate([a, b]))
+    observed = float(np.mean(a == b))
+    expected = 0.0
+    for cat in categories:
+        expected += float(np.mean(a == cat)) * float(np.mean(b == cat))
+    if expected >= 1.0:
+        return 1.0
+    return (observed - expected) / (1.0 - expected)
+
+
+def confusion_counts(y_true: np.ndarray | list, y_pred: np.ndarray | list) -> dict[str, int]:
+    t = _as_bool(y_true)
+    p = _as_bool(y_pred)
+    return {
+        "tp": int(np.sum(t & p)),
+        "fp": int(np.sum(~t & p)),
+        "fn": int(np.sum(t & ~p)),
+        "tn": int(np.sum(~t & ~p)),
+    }

@@ -1,0 +1,15 @@
+"""Trainable text classifiers (logistic regression, naive Bayes, and a
+from-scratch transformer encoder)."""
+
+from repro.nlp.models.base import TextClassifier
+from repro.nlp.models.logreg import LogisticRegressionClassifier
+from repro.nlp.models.naive_bayes import NaiveBayesClassifier
+from repro.nlp.models.transformer import TransformerClassifier, TransformerConfig
+
+__all__ = [
+    "TextClassifier",
+    "LogisticRegressionClassifier",
+    "NaiveBayesClassifier",
+    "TransformerClassifier",
+    "TransformerConfig",
+]

@@ -1,0 +1,38 @@
+"""The classifier interface shared by the pipeline's filter models."""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+from scipy import sparse
+
+
+@runtime_checkable
+class TextClassifier(Protocol):
+    """A binary classifier over sparse feature rows.
+
+    ``fit`` consumes an (n, d) CSR matrix and a boolean label vector;
+    ``predict_proba`` returns P(positive) per row.  Implementations must be
+    deterministic given their seed.
+    """
+
+    def fit(self, features: sparse.csr_matrix, labels: np.ndarray) -> "TextClassifier":
+        ...  # pragma: no cover - protocol
+
+    def predict_proba(self, features: sparse.csr_matrix) -> np.ndarray:
+        ...  # pragma: no cover - protocol
+
+
+def validate_training_inputs(features: sparse.csr_matrix, labels: np.ndarray) -> np.ndarray:
+    """Shared input validation for model ``fit`` methods."""
+    labels = np.asarray(labels).astype(bool)
+    if features.shape[0] != labels.shape[0]:
+        raise ValueError(
+            f"features ({features.shape[0]} rows) and labels ({labels.shape[0]}) must align"
+        )
+    if features.shape[0] == 0:
+        raise ValueError("cannot fit on an empty training set")
+    if labels.all() or not labels.any():
+        raise ValueError("training set must contain both classes")
+    return labels

@@ -1,0 +1,49 @@
+"""Probability-averaging ensembles of filter models.
+
+A standard production hedge: average calibrated probabilities from
+heterogeneous models (e.g. linear + naive Bayes) so single-model blind
+spots — like the linear model's vulnerability to spacing attacks — are
+dampened.  Weights default to uniform; fit() trains every member on the
+same data.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.nlp.models.base import TextClassifier
+
+
+class EnsembleClassifier:
+    """Weighted average of member classifiers' probabilities."""
+
+    def __init__(
+        self,
+        members: Sequence[TextClassifier],
+        weights: Sequence[float] | None = None,
+    ) -> None:
+        if not members:
+            raise ValueError("an ensemble needs at least one member")
+        if weights is None:
+            weights = [1.0] * len(members)
+        if len(weights) != len(members):
+            raise ValueError("weights must align with members")
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise ValueError("weights must be non-negative with positive sum")
+        self.members = list(members)
+        total = float(sum(weights))
+        self.weights = [w / total for w in weights]
+
+    def fit(self, features: sparse.csr_matrix, labels: np.ndarray) -> "EnsembleClassifier":
+        for member in self.members:
+            member.fit(features, labels)
+        return self
+
+    def predict_proba(self, features: sparse.csr_matrix) -> np.ndarray:
+        out = np.zeros(features.shape[0])
+        for member, weight in zip(self.members, self.weights):
+            out += weight * member.predict_proba(features)
+        return out

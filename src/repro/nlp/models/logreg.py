@@ -1,0 +1,103 @@
+"""L2-regularised logistic regression trained with mini-batch Adam.
+
+This is the production filter model of the reproduction: fast enough to
+score the full synthetic crawl repeatedly during active learning and
+threshold selection, with calibrated-ish probabilities for the decile
+sampler.  Class imbalance (positives are <5 % of training data) is handled
+with inverse-frequency example weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.nlp.models.base import validate_training_inputs
+from repro.util.rng import child_rng
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+class LogisticRegressionClassifier:
+    """Sparse binary logistic regression (numpy + scipy.sparse)."""
+
+    def __init__(
+        self,
+        l2: float = 1e-5,
+        lr: float = 0.05,
+        epochs: int = 6,
+        batch_size: int = 512,
+        balanced: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if epochs <= 0 or batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+        self.l2 = l2
+        self.lr = lr
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.balanced = balanced
+        self.seed = seed
+        self.weights: np.ndarray | None = None
+        self.bias: float = 0.0
+
+    def fit(self, features: sparse.csr_matrix, labels: np.ndarray) -> "LogisticRegressionClassifier":
+        labels = validate_training_inputs(features, labels)
+        rng = child_rng(self.seed, "logreg-shuffle")
+        n, d = features.shape
+        y = labels.astype(np.float64)
+        if self.balanced:
+            pos_w = n / (2.0 * y.sum())
+            neg_w = n / (2.0 * (n - y.sum()))
+            sample_w = np.where(labels, pos_w, neg_w)
+        else:
+            sample_w = np.ones(n)
+
+        w = np.zeros(d)
+        b = 0.0
+        m_w = np.zeros(d)
+        v_w = np.zeros(d)
+        m_b = v_b = 0.0
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        for _epoch in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                batch = features[idx]
+                yb = y[idx]
+                wb = sample_w[idx]
+                z = batch @ w + b
+                p = _sigmoid(z)
+                residual = (p - yb) * wb / idx.size
+                grad_w = batch.T @ residual + self.l2 * w
+                grad_b = float(residual.sum())
+                step += 1
+                m_w = beta1 * m_w + (1 - beta1) * grad_w
+                v_w = beta2 * v_w + (1 - beta2) * grad_w * grad_w
+                m_b = beta1 * m_b + (1 - beta1) * grad_b
+                v_b = beta2 * v_b + (1 - beta2) * grad_b * grad_b
+                bias_corr1 = 1 - beta1 ** step
+                bias_corr2 = 1 - beta2 ** step
+                w -= self.lr * (m_w / bias_corr1) / (np.sqrt(v_w / bias_corr2) + eps)
+                b -= self.lr * (m_b / bias_corr1) / (np.sqrt(v_b / bias_corr2) + eps)
+        self.weights = w
+        self.bias = b
+        return self
+
+    def predict_proba(self, features: sparse.csr_matrix) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("classifier is not fitted")
+        return _sigmoid(features @ self.weights + self.bias)
+
+    def decision_function(self, features: sparse.csr_matrix) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("classifier is not fitted")
+        return features @ self.weights + self.bias

@@ -1,0 +1,403 @@
+"""A small trainable transformer encoder classifier in pure numpy.
+
+The architectural stand-in for the paper's distilBERT (DESIGN.md §2): token
+and position embeddings, pre-LN multi-head self-attention blocks with GELU
+feed-forward layers, masked mean pooling, and a softmax head — forward and
+backward passes written by hand, trained with Adam.
+
+The model is deliberately tiny (default: 2 layers, 4 heads, d=48); it is
+trained on thousands, not millions, of examples, and exists to demonstrate
+the full architecture class end to end and to anchor the Table-3 bench.
+Unlike the paper's setup there is no pre-training corpus available offline,
+so ``pretrain_mlm`` provides the masked-token objective on the synthetic
+corpus itself (paper §5.2's pre-training step, scaled down).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.nlp.wordpiece import WordPieceVocab
+from repro.util.rng import child_rng
+
+_SQRT_2_OVER_PI = np.sqrt(2.0 / np.pi)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    return 0.5 * x * (1.0 + np.tanh(_SQRT_2_OVER_PI * (x + 0.044715 * x**3)))
+
+
+def gelu_grad(x: np.ndarray) -> np.ndarray:
+    t = np.tanh(_SQRT_2_OVER_PI * (x + 0.044715 * x**3))
+    dt = (1.0 - t**2) * _SQRT_2_OVER_PI * (1.0 + 3 * 0.044715 * x**2)
+    return 0.5 * (1.0 + t) + 0.5 * x * dt
+
+
+@dataclasses.dataclass(frozen=True)
+class TransformerConfig:
+    vocab_size: int
+    max_len: int = 64
+    d_model: int = 48
+    n_heads: int = 4
+    n_layers: int = 2
+    d_ff: int = 96
+    lr: float = 3e-3
+    epochs: int = 4
+    batch_size: int = 32
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.d_model % self.n_heads:
+            raise ValueError("d_model must be divisible by n_heads")
+
+
+class _LayerCache:
+    """Forward-pass intermediates of one encoder block, kept for backprop."""
+
+    __slots__ = (
+        "x_in", "ln1", "q", "k", "v", "attn", "ctx", "attn_out",
+        "x_mid", "ln2", "ff_pre", "ff_act",
+    )
+
+
+def _layer_norm(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray):
+    mu = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    inv = 1.0 / np.sqrt(var + 1e-5)
+    norm = (x - mu) * inv
+    return norm * gamma + beta, (norm, inv)
+
+
+def _layer_norm_backward(dout, cache, gamma):
+    norm, inv = cache
+    dgamma = (dout * norm).sum(axis=(0, 1))
+    dbeta = dout.sum(axis=(0, 1))
+    dnorm = dout * gamma
+    d = norm.shape[-1]
+    dx = inv * (
+        dnorm
+        - dnorm.mean(axis=-1, keepdims=True)
+        - norm * (dnorm * norm).mean(axis=-1, keepdims=True)
+    )
+    return dx, dgamma, dbeta
+
+
+class TransformerClassifier:
+    """Binary sequence classifier with hand-written backprop."""
+
+    def __init__(self, config: TransformerConfig) -> None:
+        self.config = config
+        rng = child_rng(config.seed, "transformer-init")
+        c = config
+        scale = 0.02
+
+        def w(*shape):
+            return rng.normal(0.0, scale, size=shape)
+
+        self.params: dict[str, np.ndarray] = {
+            "tok_emb": w(c.vocab_size, c.d_model),
+            "pos_emb": w(c.max_len, c.d_model),
+            "head_w": w(c.d_model, 2),
+            "head_b": np.zeros(2),
+        }
+        for layer in range(c.n_layers):
+            p = f"l{layer}."
+            self.params[p + "wq"] = w(c.d_model, c.d_model)
+            self.params[p + "wk"] = w(c.d_model, c.d_model)
+            self.params[p + "wv"] = w(c.d_model, c.d_model)
+            self.params[p + "wo"] = w(c.d_model, c.d_model)
+            self.params[p + "w1"] = w(c.d_model, c.d_ff)
+            self.params[p + "b1"] = np.zeros(c.d_ff)
+            self.params[p + "w2"] = w(c.d_ff, c.d_model)
+            self.params[p + "b2"] = np.zeros(c.d_model)
+            self.params[p + "ln1_g"] = np.ones(c.d_model)
+            self.params[p + "ln1_b"] = np.zeros(c.d_model)
+            self.params[p + "ln2_g"] = np.ones(c.d_model)
+            self.params[p + "ln2_b"] = np.zeros(c.d_model)
+        self.params["lnf_g"] = np.ones(c.d_model)
+        self.params["lnf_b"] = np.zeros(c.d_model)
+        self._adam_m = {k: np.zeros_like(v) for k, v in self.params.items()}
+        self._adam_v = {k: np.zeros_like(v) for k, v in self.params.items()}
+        self._adam_t = 0
+
+    # -- forward -------------------------------------------------------------
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        b, t, _ = x.shape
+        c = self.config
+        return x.reshape(b, t, c.n_heads, c.d_model // c.n_heads).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        b, h, t, dh = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(b, t, h * dh)
+
+    def _forward(self, ids: np.ndarray, mask: np.ndarray):
+        """ids: (B, T) int; mask: (B, T) float 1=real token."""
+        c = self.config
+        p = self.params
+        caches: list[_LayerCache] = []
+        ln_caches = []
+        x = p["tok_emb"][ids] + p["pos_emb"][None, : ids.shape[1], :]
+        attn_bias = (1.0 - mask)[:, None, None, :] * -1e9  # (B,1,1,T)
+        dh = c.d_model // c.n_heads
+        for layer in range(c.n_layers):
+            lp = f"l{layer}."
+            cache = _LayerCache()
+            cache.x_in = x
+            ln1, ln1_cache = _layer_norm(x, p[lp + "ln1_g"], p[lp + "ln1_b"])
+            cache.ln1 = ln1
+            q = self._split_heads(ln1 @ p[lp + "wq"])
+            k = self._split_heads(ln1 @ p[lp + "wk"])
+            v = self._split_heads(ln1 @ p[lp + "wv"])
+            scores = q @ k.transpose(0, 1, 3, 2) / np.sqrt(dh) + attn_bias
+            scores -= scores.max(axis=-1, keepdims=True)
+            attn = np.exp(scores)
+            attn /= attn.sum(axis=-1, keepdims=True)
+            ctx = attn @ v
+            attn_out = self._merge_heads(ctx) @ p[lp + "wo"]
+            x_mid = x + attn_out
+            ln2, ln2_cache = _layer_norm(x_mid, p[lp + "ln2_g"], p[lp + "ln2_b"])
+            ff_pre = ln2 @ p[lp + "w1"] + p[lp + "b1"]
+            ff_act = gelu(ff_pre)
+            x = x_mid + ff_act @ p[lp + "w2"] + p[lp + "b2"]
+            cache.q, cache.k, cache.v = q, k, v
+            cache.attn, cache.ctx = attn, ctx
+            cache.x_mid, cache.ln2 = x_mid, ln2
+            cache.ff_pre, cache.ff_act = ff_pre, ff_act
+            caches.append(cache)
+            ln_caches.append((ln1_cache, ln2_cache))
+        final, lnf_cache = _layer_norm(x, p["lnf_g"], p["lnf_b"])
+        denom = mask.sum(axis=1, keepdims=True)
+        pooled = (final * mask[:, :, None]).sum(axis=1) / denom
+        logits = pooled @ p["head_w"] + p["head_b"]
+        return logits, (ids, mask, caches, ln_caches, final, lnf_cache, pooled, denom, x)
+
+    def _backward(self, dlogits: np.ndarray, ctx) -> dict[str, np.ndarray]:
+        p = self.params
+        ids, mask, caches, ln_caches, final, lnf_cache, pooled, denom, x_last = ctx
+        grads = {k: np.zeros_like(v) for k, v in p.items()}
+        grads["head_w"] = pooled.T @ dlogits
+        grads["head_b"] = dlogits.sum(axis=0)
+        dpooled = dlogits @ p["head_w"].T
+        dfinal = dpooled[:, None, :] * (mask[:, :, None] / denom[:, :, None])
+        self._backward_from_final(dfinal, ctx, grads)
+        return grads
+
+    def _backward_from_final(self, dfinal: np.ndarray, ctx, grads: dict[str, np.ndarray]) -> None:
+        """Backprop from gradients w.r.t. the final (post-LN) hidden states."""
+        c = self.config
+        p = self.params
+        ids, mask, caches, ln_caches, final, lnf_cache, pooled, denom, x_last = ctx
+        dx, dg, db = _layer_norm_backward(dfinal, lnf_cache, p["lnf_g"])
+        grads["lnf_g"] += dg
+        grads["lnf_b"] += db
+        dh = c.d_model // c.n_heads
+        for layer in reversed(range(c.n_layers)):
+            lp = f"l{layer}."
+            cache = caches[layer]
+            ln1_cache, ln2_cache = ln_caches[layer]
+            # FFN branch: x = x_mid + gelu(ln2 @ w1 + b1) @ w2 + b2
+            dff_out = dx
+            grads[lp + "b2"] += dff_out.sum(axis=(0, 1))
+            grads[lp + "w2"] += cache.ff_act.reshape(-1, c.d_ff).T @ dff_out.reshape(-1, c.d_model)
+            dff_act = dff_out @ p[lp + "w2"].T
+            dff_pre = dff_act * gelu_grad(cache.ff_pre)
+            grads[lp + "b1"] += dff_pre.sum(axis=(0, 1))
+            grads[lp + "w1"] += cache.ln2.reshape(-1, c.d_model).T @ dff_pre.reshape(-1, c.d_ff)
+            dln2 = dff_pre @ p[lp + "w1"].T
+            dx_mid_from_ln2, dg2, db2 = _layer_norm_backward(dln2, ln2_cache, p[lp + "ln2_g"])
+            grads[lp + "ln2_g"], grads[lp + "ln2_b"] = dg2, db2
+            dx_mid = dx + dx_mid_from_ln2
+            # Attention branch: x_mid = x_in + merge(attn @ v) @ wo
+            dattn_out = dx_mid
+            merged_ctx = self._merge_heads(cache.ctx)
+            grads[lp + "wo"] += merged_ctx.reshape(-1, c.d_model).T @ dattn_out.reshape(-1, c.d_model)
+            dmerged = dattn_out @ p[lp + "wo"].T
+            dctx = self._split_heads(dmerged)
+            dattn = dctx @ cache.v.transpose(0, 1, 3, 2)
+            dv = cache.attn.transpose(0, 1, 3, 2) @ dctx
+            # softmax backward
+            dscores = cache.attn * (dattn - (dattn * cache.attn).sum(axis=-1, keepdims=True))
+            dscores /= np.sqrt(dh)
+            dq = dscores @ cache.k
+            dk = dscores.transpose(0, 1, 3, 2) @ cache.q
+            dq_m = self._merge_heads(dq)
+            dk_m = self._merge_heads(dk)
+            dv_m = self._merge_heads(dv)
+            ln1_flat = cache.ln1.reshape(-1, c.d_model)
+            grads[lp + "wq"] += ln1_flat.T @ dq_m.reshape(-1, c.d_model)
+            grads[lp + "wk"] += ln1_flat.T @ dk_m.reshape(-1, c.d_model)
+            grads[lp + "wv"] += ln1_flat.T @ dv_m.reshape(-1, c.d_model)
+            dln1 = dq_m @ p[lp + "wq"].T + dk_m @ p[lp + "wk"].T + dv_m @ p[lp + "wv"].T
+            dx_in_from_ln1, dg1, db1 = _layer_norm_backward(dln1, ln1_cache, p[lp + "ln1_g"])
+            grads[lp + "ln1_g"], grads[lp + "ln1_b"] = dg1, db1
+            dx = dx_mid + dx_in_from_ln1
+        # Embeddings
+        np.add.at(grads["tok_emb"], ids, dx)
+        grads["pos_emb"][: ids.shape[1]] += dx.sum(axis=0)
+
+    def _adam_step(self, grads: dict[str, np.ndarray]) -> None:
+        self._adam_t += 1
+        lr = self.config.lr
+        b1, b2, eps = 0.9, 0.999, 1e-8
+        corr1 = 1 - b1**self._adam_t
+        corr2 = 1 - b2**self._adam_t
+        for key, grad in grads.items():
+            m = self._adam_m[key]
+            v = self._adam_v[key]
+            m *= b1
+            m += (1 - b1) * grad
+            v *= b2
+            v += (1 - b2) * grad * grad
+            self.params[key] -= lr * (m / corr1) / (np.sqrt(v / corr2) + eps)
+
+    # -- public API ------------------------------------------------------------
+
+    def fit_ids(self, sequences: Sequence[Sequence[int]], labels: np.ndarray) -> "TransformerClassifier":
+        """Train on pre-encoded id sequences (padded/truncated internally)."""
+        labels = np.asarray(labels).astype(int)
+        if len(sequences) != labels.size:
+            raise ValueError("sequences and labels must align")
+        if labels.size == 0:
+            raise ValueError("cannot fit on an empty training set")
+        rng = child_rng(self.config.seed, "transformer-shuffle")
+        ids, mask = self._pad(sequences)
+        n = labels.size
+        for _epoch in range(self.config.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.config.batch_size):
+                idx = order[start : start + self.config.batch_size]
+                logits, ctx = self._forward(ids[idx], mask[idx])
+                # softmax cross-entropy
+                logits = logits - logits.max(axis=1, keepdims=True)
+                probs = np.exp(logits)
+                probs /= probs.sum(axis=1, keepdims=True)
+                dlogits = probs.copy()
+                dlogits[np.arange(idx.size), labels[idx]] -= 1.0
+                dlogits /= idx.size
+                grads = self._backward(dlogits, ctx)
+                self._adam_step(grads)
+        return self
+
+    def pretrain_mlm(
+        self,
+        sequences: Sequence[Sequence[int]],
+        mask_token_id: int,
+        epochs: int = 1,
+        mask_prob: float = 0.15,
+    ) -> list[float]:
+        """Masked-token pre-training (paper §5.2's pre-training step).
+
+        15 % of real tokens are selected; of those 80 % are replaced with
+        the mask token, 10 % with a random token, 10 % kept — the BERT
+        recipe.  The output projection is tied to the token embedding.
+        Returns the mean masked-token loss per epoch.
+        """
+        if not 0 < mask_prob < 1:
+            raise ValueError("mask_prob must be in (0, 1)")
+        rng = child_rng(self.config.seed, "transformer-mlm")
+        ids_all, mask_all = self._pad(sequences)
+        n = ids_all.shape[0]
+        losses = []
+        for _epoch in range(epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            epoch_tokens = 0
+            for start in range(0, n, self.config.batch_size):
+                idx = order[start : start + self.config.batch_size]
+                ids = ids_all[idx].copy()
+                mask = mask_all[idx]
+                select = (rng.random(ids.shape) < mask_prob) & (mask > 0)
+                if not select.any():
+                    continue
+                targets = ids_all[idx][select]
+                action = rng.random(int(select.sum()))
+                corrupted = np.where(
+                    action < 0.8,
+                    mask_token_id,
+                    np.where(
+                        action < 0.9,
+                        rng.integers(0, self.config.vocab_size, size=action.size),
+                        targets,
+                    ),
+                )
+                ids[select] = corrupted
+                _logits, ctx = self._forward(ids, mask)
+                final = ctx[4]
+                hidden = final[select]  # (M, D)
+                mlm_logits = hidden @ self.params["tok_emb"].T  # (M, V)
+                mlm_logits -= mlm_logits.max(axis=1, keepdims=True)
+                probs = np.exp(mlm_logits)
+                probs /= probs.sum(axis=1, keepdims=True)
+                m = targets.size
+                epoch_loss += float(-np.log(probs[np.arange(m), targets] + 1e-12).sum())
+                epoch_tokens += m
+                dlogits_mlm = probs
+                dlogits_mlm[np.arange(m), targets] -= 1.0
+                dlogits_mlm /= m
+                grads = {k: np.zeros_like(v) for k, v in self.params.items()}
+                grads["tok_emb"] += dlogits_mlm.T @ hidden  # tied output side
+                dfinal = np.zeros_like(final)
+                dfinal[select] = dlogits_mlm @ self.params["tok_emb"]
+                self._backward_from_final(dfinal, ctx, grads)
+                self._adam_step(grads)
+            losses.append(epoch_loss / max(epoch_tokens, 1))
+        return losses
+
+    def predict_proba_ids(self, sequences: Sequence[Sequence[int]]) -> np.ndarray:
+        ids, mask = self._pad(sequences)
+        out = np.empty(len(sequences))
+        for start in range(0, len(sequences), 256):
+            logits, _ = self._forward(ids[start : start + 256], mask[start : start + 256])
+            logits = logits - logits.max(axis=1, keepdims=True)
+            probs = np.exp(logits)
+            probs /= probs.sum(axis=1, keepdims=True)
+            out[start : start + 256] = probs[:, 1]
+        return out
+
+    def _pad(self, sequences: Sequence[Sequence[int]]) -> tuple[np.ndarray, np.ndarray]:
+        c = self.config
+        n = len(sequences)
+        ids = np.zeros((n, c.max_len), dtype=np.int64)
+        mask = np.zeros((n, c.max_len), dtype=np.float64)
+        for i, seq in enumerate(sequences):
+            seq = list(seq)[: c.max_len] or [0]
+            ids[i, : len(seq)] = seq
+            mask[i, : len(seq)] = 1.0
+        return ids, mask
+
+
+class TransformerTextClassifier:
+    """Adapter: text in, probability out, via a WordPiece vocab.
+
+    Satisfies the same duck-typed interface as the filter models when used
+    through :class:`repro.pipeline.filtering.FilterModel`.
+    """
+
+    def __init__(self, vocab: WordPieceVocab, config: TransformerConfig | None = None) -> None:
+        self.vocab = vocab
+        self.config = config or TransformerConfig(vocab_size=len(vocab))
+        if self.config.vocab_size != len(vocab):
+            raise ValueError("config.vocab_size must match the vocabulary")
+        self.model = TransformerClassifier(self.config)
+
+    def fit_texts(self, texts: Sequence[str], labels: np.ndarray) -> "TransformerTextClassifier":
+        sequences = [self.vocab.encode(t, self.config.max_len) for t in texts]
+        self.model.fit_ids(sequences, labels)
+        return self
+
+    def predict_proba_texts(self, texts: Sequence[str]) -> np.ndarray:
+        sequences = [self.vocab.encode(t, self.config.max_len) for t in texts]
+        return self.model.predict_proba_ids(sequences)
+
+    # CSR-based protocol compatibility is intentionally absent: the
+    # transformer consumes token ids, not hashed features.
+    def fit(self, features: sparse.csr_matrix, labels: np.ndarray):  # pragma: no cover
+        raise NotImplementedError("use fit_texts; the transformer consumes token ids")
+
+    def predict_proba(self, features: sparse.csr_matrix):  # pragma: no cover
+        raise NotImplementedError("use predict_proba_texts")

@@ -1,0 +1,62 @@
+"""Adversarial text normalization — the defence to :mod:`repro.corpus.perturb`.
+
+Platforms deploying the filters counter cheap evasions by normalising
+input before featurisation: mapping leet digits back to letters, collapsing
+intra-word spacing, and unifying separators.  Normalisation is deliberately
+conservative — it must not destroy legitimate signal (numbers in phone
+numbers, real single-letter words).
+"""
+
+from __future__ import annotations
+
+import re
+
+_UNLEET = str.maketrans({"4": "a", "3": "e", "1": "i", "0": "o", "5": "s", "7": "t"})
+
+#: Runs of >= 3 single alphanumeric characters separated by single spaces
+#: ("m a s s  r e p o r t") — almost never legitimate prose.
+_SPACED_RUN_RE = re.compile(r"\b(?:\w ){2,}\w\b")
+
+_ZERO_WIDTH_RE = re.compile("[​‌‍⁠﻿]")
+
+_REPEAT_RE = re.compile(r"(.)\1{3,}")
+
+
+def collapse_spaced_words(text: str) -> str:
+    """Join runs of single characters split by spaces."""
+    return _SPACED_RUN_RE.sub(lambda m: m.group(0).replace(" ", ""), text)
+
+
+def unleet_word(word: str) -> str:
+    """De-leet a word when it mixes letters and leet digits.
+
+    Pure numbers (phone numbers, years) are left alone: only tokens that
+    contain at least one ASCII letter get the digit→letter mapping.
+    """
+    if not any(ch.isalpha() for ch in word):
+        return word
+    return word.translate(_UNLEET)
+
+
+def normalize(text: str) -> str:
+    """Full normalisation pass: zero-width strip, spacing collapse,
+    per-word de-leeting, repeated-character squeeze."""
+    text = _ZERO_WIDTH_RE.sub("", text)
+    text = collapse_spaced_words(text)
+    words = [unleet_word(w) for w in text.split(" ")]
+    text = " ".join(words)
+    return _REPEAT_RE.sub(lambda m: m.group(1) * 2, text)
+
+
+class NormalizingVectorizer:
+    """Drop-in vectorizer wrapper that normalises text first."""
+
+    def __init__(self, vectorizer) -> None:
+        self._vectorizer = vectorizer
+
+    @property
+    def n_bits(self) -> int:  # pragma: no cover - passthrough
+        return self._vectorizer.n_bits
+
+    def transform_texts(self, texts):
+        return self._vectorizer.transform_texts([normalize(t) for t in texts])

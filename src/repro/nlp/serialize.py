@@ -1,0 +1,86 @@
+"""Model persistence: save and load trained filter models.
+
+The paper open-sources its classifiers so platforms can deploy them
+without the training data (§3).  This module provides the equivalent for
+the reproduction's models: the logistic-regression filter (weights + the
+vectorizer's hashing configuration travel together, since hashed features
+are meaningless without it) and the WordPiece vocabulary.
+
+Format: a single ``.npz`` for arrays plus a JSON header embedded as an
+array of bytes, so one file fully describes one deployable model.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.nlp.features import HashingVectorizer
+from repro.nlp.models.logreg import LogisticRegressionClassifier
+from repro.nlp.wordpiece import WordPieceVocab
+
+FORMAT = "repro-filter-model"
+VERSION = 1
+
+
+def save_filter_model(
+    path: str | pathlib.Path,
+    model: LogisticRegressionClassifier,
+    vectorizer: HashingVectorizer,
+    metadata: dict | None = None,
+) -> None:
+    """Persist a trained filter model and its vectorizer config."""
+    if model.weights is None:
+        raise ValueError("cannot save an unfitted model")
+    header = {
+        "format": FORMAT,
+        "version": VERSION,
+        "n_bits": vectorizer.n_bits,
+        "use_bigrams": vectorizer.use_bigrams,
+        "bias": model.bias,
+        "metadata": metadata or {},
+    }
+    np.savez_compressed(
+        pathlib.Path(path),
+        header=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        weights=model.weights,
+    )
+
+
+def load_filter_model(
+    path: str | pathlib.Path,
+) -> tuple[LogisticRegressionClassifier, HashingVectorizer, dict]:
+    """Load a filter model; returns (model, vectorizer, metadata)."""
+    with np.load(pathlib.Path(path)) as data:
+        header = json.loads(bytes(data["header"]).decode("utf-8"))
+        if header.get("format") != FORMAT:
+            raise ValueError(f"not a {FORMAT} file: {path}")
+        if header.get("version") != VERSION:
+            raise ValueError(f"unsupported model version: {header.get('version')}")
+        weights = np.array(data["weights"], dtype=np.float64)
+    vectorizer = HashingVectorizer(
+        n_bits=header["n_bits"], use_bigrams=header["use_bigrams"]
+    )
+    if weights.shape != (vectorizer.n_features,):
+        raise ValueError("weight vector does not match the vectorizer dimensions")
+    model = LogisticRegressionClassifier()
+    model.weights = weights
+    model.bias = float(header["bias"])
+    return model, vectorizer, header["metadata"]
+
+
+def save_wordpiece(path: str | pathlib.Path, vocab: WordPieceVocab) -> None:
+    """Persist a trained WordPiece vocabulary as JSON."""
+    tokens = [vocab.piece(i) for i in range(len(vocab))]
+    pathlib.Path(path).write_text(
+        json.dumps({"format": "repro-wordpiece", "version": 1, "tokens": tokens})
+    )
+
+
+def load_wordpiece(path: str | pathlib.Path) -> WordPieceVocab:
+    data = json.loads(pathlib.Path(path).read_text())
+    if data.get("format") != "repro-wordpiece":
+        raise ValueError(f"not a repro-wordpiece file: {path}")
+    return WordPieceVocab(data["tokens"])

@@ -1,0 +1,81 @@
+"""Long-document span strategies (paper §5.2).
+
+DistilBERT has a fixed maximum sequence length, so documents longer than
+the limit must be reduced.  The paper compared four strategies and found
+**random spans without overlap** best for its sequence classification
+tasks; the alternatives are implemented for the ablation bench.
+
+Spans are expressed as (start, end) windows over the token sequence; a
+document shorter than the window yields a single full-length span.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class SpanStrategy(enum.Enum):
+    """How to reduce a document longer than the model's max length."""
+
+    RANDOM_NO_OVERLAP = "random_no_overlap"  # paper's winner
+    HEAD_TAIL = "head_tail"
+    OVERLAPPING = "overlapping"
+    RANDOM_LENGTH = "random_length"
+
+
+#: Cap on spans per document: keeps prediction cost bounded on very long
+#: pastes while still covering "spans of text from all areas" (§5.2).
+MAX_SPANS_PER_DOC = 4
+
+
+def make_spans(
+    n_tokens: int,
+    max_tokens: int,
+    strategy: SpanStrategy,
+    rng: np.random.Generator,
+    max_spans: int = MAX_SPANS_PER_DOC,
+) -> list[tuple[int, int]]:
+    """Return (start, end) token windows covering the document.
+
+    ``RANDOM_NO_OVERLAP`` partitions the document into consecutive
+    ``max_tokens`` windows and samples up to ``max_spans`` of them without
+    replacement — spans from all areas of the input, never overlapping.
+    """
+    if max_tokens <= 0:
+        raise ValueError("max_tokens must be positive")
+    if n_tokens <= max_tokens:
+        return [(0, n_tokens)]
+
+    if strategy is SpanStrategy.RANDOM_NO_OVERLAP:
+        n_windows = (n_tokens + max_tokens - 1) // max_tokens
+        take = min(max_spans, n_windows)
+        picks = sorted(rng.choice(n_windows, size=take, replace=False).tolist())
+        return [
+            (w * max_tokens, min((w + 1) * max_tokens, n_tokens)) for w in picks
+        ]
+
+    if strategy is SpanStrategy.HEAD_TAIL:
+        head = (0, max_tokens)
+        tail = (n_tokens - max_tokens, n_tokens)
+        return [head] if tail[0] <= 0 else [head, tail]
+
+    if strategy is SpanStrategy.OVERLAPPING:
+        stride = max(max_tokens // 2, 1)
+        spans = []
+        start = 0
+        while start < n_tokens and len(spans) < max_spans:
+            spans.append((start, min(start + max_tokens, n_tokens)))
+            start += stride
+        return spans
+
+    if strategy is SpanStrategy.RANDOM_LENGTH:
+        spans = []
+        for _ in range(min(max_spans, max(n_tokens // max_tokens, 1))):
+            length = int(rng.integers(max(max_tokens // 4, 1), max_tokens + 1))
+            start = int(rng.integers(0, max(n_tokens - length, 1)))
+            spans.append((start, start + length))
+        return spans
+
+    raise ValueError(f"unknown span strategy: {strategy}")  # pragma: no cover

@@ -1,0 +1,75 @@
+"""Tokenization with punctuation splitting (paper §5.2) and token caching.
+
+The paper tokenizes with punctuation splitting followed by WordPiece
+sub-word segmentation.  Here :func:`tokenize` performs the punctuation
+split; :mod:`repro.nlp.wordpiece` provides the trainable sub-word stage
+used by the transformer model.  For the high-volume filtering path the
+vectorizer consumes stable 64-bit token hashes, which :class:`TokenCache`
+computes exactly once per document so that repeated full-corpus prediction
+passes (active learning, threshold search) do not re-tokenize.
+"""
+
+from __future__ import annotations
+
+import re
+import zlib
+from typing import Iterable, Sequence
+
+import numpy as np
+
+_TOKEN_RE = re.compile(r"[a-z0-9']+|[^\sa-z0-9']")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase and split on whitespace and punctuation.
+
+    Punctuation characters become their own tokens (the paper's
+    punctuation splitting step); alphanumeric runs stay whole.
+    """
+    return _TOKEN_RE.findall(text.lower())
+
+
+def hash_token(token: str) -> int:
+    """Stable 32-bit hash of one token (crc32: fast and process-stable)."""
+    return zlib.crc32(token.encode("utf-8"))
+
+
+def hash_tokens(tokens: Sequence[str]) -> np.ndarray:
+    """Vector of stable token hashes, dtype uint64."""
+    return np.array([zlib.crc32(t.encode("utf-8")) for t in tokens], dtype=np.uint64)
+
+
+class TokenCache:
+    """Token-hash arrays for a fixed document collection.
+
+    The cache stores one uint64 hash array per document.  Everything
+    downstream (n-gram hashing, span windows) is pure numpy on these
+    arrays, which is what makes full-corpus prediction affordable.
+    """
+
+    def __init__(self, texts: Iterable[str]) -> None:
+        self._arrays: list[np.ndarray] = [hash_tokens(tokenize(t)) for t in texts]
+
+    def __len__(self) -> int:
+        return len(self._arrays)
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        return self._arrays[index]
+
+    @property
+    def arrays(self) -> list[np.ndarray]:
+        return self._arrays
+
+    def lengths(self) -> np.ndarray:
+        return np.array([a.size for a in self._arrays], dtype=np.int64)
+
+    def subset(self, indices: Sequence[int]) -> "TokenCache":
+        sub = TokenCache([])
+        sub._arrays = [self._arrays[i] for i in indices]
+        return sub
+
+    @classmethod
+    def from_arrays(cls, arrays: list[np.ndarray]) -> "TokenCache":
+        cache = cls([])
+        cache._arrays = arrays
+        return cache

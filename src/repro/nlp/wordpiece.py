@@ -1,0 +1,135 @@
+"""Trainable WordPiece-style sub-word vocabulary (paper §5.2).
+
+Training uses byte-pair merges over a word-frequency table; encoding uses
+greedy longest-match-first segmentation with the ``##`` continuation
+convention.  The vocabulary feeds the transformer classifier — the hashed
+filter path does not need it.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Iterable, Sequence
+
+from repro.nlp.tokenize import tokenize
+
+PAD = "[PAD]"
+UNK = "[UNK]"
+CLS = "[CLS]"
+MASK = "[MASK]"
+SPECIALS = (PAD, UNK, CLS, MASK)
+
+
+class WordPieceVocab:
+    """A sub-word vocabulary with BPE training and greedy encoding."""
+
+    def __init__(self, tokens: Sequence[str]) -> None:
+        if len(set(tokens)) != len(tokens):
+            raise ValueError("vocabulary tokens must be unique")
+        for special in SPECIALS:
+            if special not in tokens:
+                raise ValueError(f"vocabulary must contain {special}")
+        self._tokens = list(tokens)
+        self._index = {tok: i for i, tok in enumerate(self._tokens)}
+        self._max_piece_len = max(len(t.removeprefix("##")) for t in self._tokens)
+        self._cache: dict[str, list[int]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def train(
+        cls, texts: Iterable[str], vocab_size: int = 4_096, min_pair_count: int = 2
+    ) -> "WordPieceVocab":
+        """Learn a vocabulary of ``vocab_size`` pieces by pair merging."""
+        if vocab_size < 64:
+            raise ValueError("vocab_size must be at least 64")
+        word_freq: collections.Counter[str] = collections.Counter()
+        for text in texts:
+            word_freq.update(tokenize(text))
+        # Represent each word as a tuple of pieces; first piece bare, rest ##.
+        splits: dict[str, list[str]] = {
+            word: [word[0]] + [f"##{ch}" for ch in word[1:]] for word in word_freq
+        }
+        alphabet = sorted({piece for pieces in splits.values() for piece in pieces})
+        vocab = list(SPECIALS) + alphabet
+        while len(vocab) < vocab_size:
+            pair_counts: collections.Counter[tuple[str, str]] = collections.Counter()
+            for word, pieces in splits.items():
+                freq = word_freq[word]
+                for a, b in zip(pieces, pieces[1:]):
+                    pair_counts[(a, b)] += freq
+            if not pair_counts:
+                break
+            (a, b), count = pair_counts.most_common(1)[0]
+            if count < min_pair_count:
+                break
+            merged = a + b.removeprefix("##")
+            vocab.append(merged)
+            for word, pieces in splits.items():
+                out = []
+                i = 0
+                while i < len(pieces):
+                    if i + 1 < len(pieces) and pieces[i] == a and pieces[i + 1] == b:
+                        out.append(merged)
+                        i += 2
+                    else:
+                        out.append(pieces[i])
+                        i += 1
+                splits[word] = out
+        return cls(vocab)
+
+    # -- encoding ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    @property
+    def pad_id(self) -> int:
+        return self._index[PAD]
+
+    @property
+    def unk_id(self) -> int:
+        return self._index[UNK]
+
+    @property
+    def cls_id(self) -> int:
+        return self._index[CLS]
+
+    @property
+    def mask_id(self) -> int:
+        return self._index[MASK]
+
+    def piece(self, token_id: int) -> str:
+        return self._tokens[token_id]
+
+    def _encode_word(self, word: str) -> list[int]:
+        cached = self._cache.get(word)
+        if cached is not None:
+            return cached
+        ids: list[int] = []
+        start = 0
+        while start < len(word):
+            end = min(len(word), start + self._max_piece_len)
+            piece_id = None
+            while end > start:
+                candidate = word[start:end] if start == 0 else f"##{word[start:end]}"
+                piece_id = self._index.get(candidate)
+                if piece_id is not None:
+                    break
+                end -= 1
+            if piece_id is None:
+                ids = [self.unk_id]
+                break
+            ids.append(piece_id)
+            start = end
+        self._cache[word] = ids
+        return ids
+
+    def encode(self, text: str, max_tokens: int | None = None) -> list[int]:
+        """Encode text to sub-word ids, prepending [CLS]."""
+        ids = [self.cls_id]
+        for word in tokenize(text):
+            ids.extend(self._encode_word(word))
+            if max_tokens is not None and len(ids) >= max_tokens:
+                return ids[:max_tokens]
+        return ids

@@ -1,0 +1,419 @@
+"""Every number the paper reports, transcribed as structured constants.
+
+This module is the single source of truth for paper-reported values.  It is
+used in two places:
+
+* the synthetic corpus generators calibrate their planted ground-truth
+  distributions to these values (so a correct pipeline recovers the paper's
+  shape), and
+* every benchmark prints the paper's row next to the measured row and
+  records both in EXPERIMENTS.md.
+
+Counts are at paper scale.  The reproduction generates corpora at
+``SCALE = 1/1000`` of paper scale; count-valued comparisons divide the
+paper value by 1000, share-valued comparisons are direct.
+"""
+
+from __future__ import annotations
+
+from repro.taxonomy.attack_types import AttackSubtype, AttackType
+from repro.types import Gender, Platform, Source, Task
+
+#: Corpus scale factor of the reproduction relative to the paper.
+SCALE = 1.0 / 1000.0
+
+# ---------------------------------------------------------------------------
+# Table 1 — raw data sets
+# ---------------------------------------------------------------------------
+
+TABLE1_RAW_DATASETS: dict[Platform, dict[str, object]] = {
+    Platform.BOARDS: {"posts": 405_943_342, "min_date": "2001-06-14", "max_date": "2020-08-01"},
+    Platform.BLOGS: {"posts": 115_052, "min_date": "1999-04-23", "max_date": "2020-08-14"},
+    Platform.CHAT: {"posts": 70_273_973, "min_date": "2015-09-21", "max_date": "2020-08-01"},
+    Platform.GAB: {"posts": 50_165_961, "min_date": "2016-08-10", "max_date": "2020-08-01"},
+    Platform.PASTES: {"posts": 32_555_682, "min_date": "2008-03-22", "max_date": "2020-08-01"},
+}
+
+#: Ancillary corpus facts from §4.
+CORPUS_FACTS = {
+    "board_domains": 43,
+    "paste_domains": 41,
+    "telegram_channels": 2_916,
+    "telegram_users": 126_432,
+    "high_risk_blogs": 19,
+    "blogs_studied": 3,
+}
+
+# ---------------------------------------------------------------------------
+# §5.1 — initial (seed) annotations
+# ---------------------------------------------------------------------------
+
+SEED_ANNOTATIONS = {
+    Task.DOX: {"positive": 1_227, "negative": 10_387, "pastebin_positive": 799, "doxbin_positive": 428},
+    Task.CTH: {"positive": 947, "negative": 424},
+}
+
+# ---------------------------------------------------------------------------
+# Table 2 — crowdsourced training-set sizes (positive, negative)
+# ---------------------------------------------------------------------------
+
+TABLE2_TRAINING_DATA: dict[Task, dict[Platform, tuple[int, int]]] = {
+    Task.DOX: {
+        Platform.BOARDS: (163, 797),
+        Platform.CHAT: (536, 19_943),
+        Platform.GAB: (216, 35_166),
+        Platform.PASTES: (2_955, 19_598),
+    },
+    Task.CTH: {
+        Platform.BOARDS: (967, 8_751),
+        Platform.CHAT: (401, 8_314),
+        Platform.GAB: (356, 7_564),
+        # The CTH task deliberately excludes pastes (no interactivity).
+    },
+}
+
+TABLE2_TOTALS = {Task.DOX: (3_870, 75_504), Task.CTH: (1_724, 24_629)}
+
+# ---------------------------------------------------------------------------
+# §5.3 — annotation process statistics
+# ---------------------------------------------------------------------------
+
+ANNOTATION_STATS = {
+    "documents_annotated_total": 100_000,  # "over 100,000"
+    "documents_annotated_dox": 79_000,  # "over 79,000"
+    "documents_annotated_cth": 25_000,  # "over 25,000"
+    "disagreement_rate": {Task.DOX: 0.0394, Task.CTH: 0.1866},
+    "crowd_kappa": {Task.DOX: 0.519, Task.CTH: 0.350},
+    "expert_kappa": {Task.DOX: 0.893, Task.CTH: 0.845},
+    "qualification_pass_score": 0.90,
+    "qualification_set_size": 10,
+    "retest_every": 10,
+    "removal_score": 0.85,
+    "expert_review_sample": 1_000,
+}
+
+# ---------------------------------------------------------------------------
+# Table 3 — classifier performance (hyperparameter-optimised)
+# ---------------------------------------------------------------------------
+
+TABLE3_CLASSIFIER_PERF = {
+    Task.DOX: {
+        "text_length": 512,
+        "positive": {"f1": 0.76, "precision": 0.77, "recall": 0.75},
+        "negative": {"f1": 0.99, "precision": 0.99, "recall": 0.99},
+        "weighted_avg": {"f1": 0.98, "precision": 0.98, "recall": 0.98},
+        "macro_avg": {"f1": 0.88, "precision": 0.88, "recall": 0.88},
+    },
+    Task.CTH: {
+        "text_length": 128,
+        "positive": {"f1": 0.63, "precision": 0.63, "recall": 0.63},
+        "negative": {"f1": 0.97, "precision": 0.97, "recall": 0.97},
+        "weighted_avg": {"f1": 0.95, "precision": 0.95, "recall": 0.95},
+        "macro_avg": {"f1": 0.80, "precision": 0.80, "recall": 0.80},
+    },
+}
+
+# ---------------------------------------------------------------------------
+# Table 4 — threshold selection & expert annotation outcomes
+# ---------------------------------------------------------------------------
+# (threshold, n_above_threshold, n_annotated, n_true_positive, fully_annotated)
+
+TABLE4_THRESHOLDS: dict[Task, dict[Source, dict[str, object]]] = {
+    Task.DOX: {
+        Source.BOARDS: {"threshold": 0.9, "above": 14_675, "annotated": 3_300, "true_positive": 2_549, "full": False},
+        Source.DISCORD: {"threshold": 0.5, "above": 197, "annotated": 197, "true_positive": 153, "full": True},
+        Source.GAB: {"threshold": 0.8, "above": 1_905, "annotated": 1_905, "true_positive": 1_657, "full": True},
+        Source.PASTES: {"threshold": 0.5, "above": 52_849, "annotated": 3_241, "true_positive": 3_118, "full": False},
+        Source.TELEGRAM: {"threshold": 0.6, "above": 1_194, "annotated": 1_194, "true_positive": 948, "full": True},
+    },
+    Task.CTH: {
+        Source.BOARDS: {"threshold": 0.935, "above": 30_685, "annotated": 3_016, "true_positive": 2_045, "full": False},
+        Source.GAB: {"threshold": 0.935, "above": 2_141, "annotated": 2_141, "true_positive": 1_335, "full": True},
+        Source.DISCORD: {"threshold": 0.5, "above": 1_093, "annotated": 1_093, "true_positive": 510, "full": True},
+        Source.TELEGRAM: {"threshold": 0.7, "above": 4_166, "annotated": 4_166, "true_positive": 2_364, "full": True},
+    },
+}
+
+# NOTE: the paper's printed dox total is 70,823, but its own rows sum to
+# 70,820 — and §7.3 uses "the complete set of 70,820 documents above our
+# dox classifier threshold", confirming the rows.  We keep the row sum.
+TABLE4_TOTALS = {
+    Task.DOX: {"above": 70_820, "annotated": 9_837, "true_positive": 8_425},
+    Task.CTH: {"above": 38_085, "annotated": 10_416, "true_positive": 6_254},
+}
+
+#: Figure 1 funnel stage counts (documents).
+FIGURE1_FUNNEL = {
+    "raw_documents": 560_000_000,  # boards+chat+gab+pastes approx (Fig. 1: 560M)
+    Task.DOX: {"annotations": 79_370, "above_threshold": 70_820, "sampled": 9_840, "true_positive": 8_430},
+    Task.CTH: {"annotations": 26_350, "above_threshold": 38_090, "sampled": 10_420, "true_positive": 6_250},
+}
+
+#: Headline total of detected-and-validated posts across both pipelines.
+TOTAL_DETECTED_POSTS = 14_679
+#: Posts detected by BOTH pipelines (§1).
+DETECTED_BY_BOTH = 95
+
+# ---------------------------------------------------------------------------
+# Table 5 — parent attack types per data set (share, count)
+# ---------------------------------------------------------------------------
+
+TABLE5_SIZES = {Platform.BOARDS: 2_045, Platform.CHAT: 2_874, Platform.GAB: 1_335}
+
+TABLE5_ATTACK_TYPES: dict[AttackType, dict[Platform, tuple[float, int]]] = {
+    AttackType.CONTENT_LEAKAGE: {Platform.BOARDS: (0.2557, 523), Platform.CHAT: (0.2109, 606), Platform.GAB: (0.2367, 316)},
+    AttackType.GENERIC: {Platform.BOARDS: (0.0714, 146), Platform.CHAT: (0.0560, 161), Platform.GAB: (0.0457, 61)},
+    AttackType.IMPERSONATION: {Platform.BOARDS: (0.0293, 60), Platform.CHAT: (0.0143, 41), Platform.GAB: (0.0120, 16)},
+    AttackType.LOCKOUT_AND_CONTROL: {Platform.BOARDS: (0.0024, 5), Platform.CHAT: (0.0017, 5), Platform.GAB: (0.0, 0)},
+    AttackType.OVERLOADING: {Platform.BOARDS: (0.0606, 124), Platform.CHAT: (0.1447, 416), Platform.GAB: (0.1985, 265)},
+    AttackType.PUBLIC_OPINION_MANIPULATION: {Platform.BOARDS: (0.0694, 142), Platform.CHAT: (0.0313, 90), Platform.GAB: (0.0172, 23)},
+    AttackType.REPORTING: {Platform.BOARDS: (0.5633, 1_152), Platform.CHAT: (0.5251, 1_509), Platform.GAB: (0.4082, 545)},
+    AttackType.REPUTATIONAL_HARM: {Platform.BOARDS: (0.0782, 160), Platform.CHAT: (0.1287, 370), Platform.GAB: (0.1071, 143)},
+    AttackType.SURVEILLANCE: {Platform.BOARDS: (0.0073, 15), Platform.CHAT: (0.0049, 14), Platform.GAB: (0.0037, 5)},
+    AttackType.TOXIC_CONTENT: {Platform.BOARDS: (0.0763, 156), Platform.CHAT: (0.0254, 73), Platform.GAB: (0.0457, 61)},
+}
+
+#: Headline reporting statistics (§6.2).
+REPORTING_HEADLINE = {
+    "reporting_total": 3_193,
+    "reporting_share": 0.51,
+    "mass_flagging_total": 1_496,
+    "false_reporting_total": 877,
+}
+
+# ---------------------------------------------------------------------------
+# Table 11 — full subcategory taxonomy per data set (share, count)
+# ---------------------------------------------------------------------------
+
+TABLE11_TAXONOMY: dict[AttackSubtype, dict[Platform, tuple[float, int]]] = {
+    AttackSubtype.DOXING: {Platform.BOARDS: (0.1746, 357), Platform.CHAT: (0.1246, 358), Platform.GAB: (0.2082, 278)},
+    AttackSubtype.LEAKED_CHATS_PROFILE: {Platform.BOARDS: (0.0088, 18), Platform.CHAT: (0.0010, 3), Platform.GAB: (0.0045, 6)},
+    AttackSubtype.NON_CONSENSUAL_MEDIA_EXPOSURE: {Platform.BOARDS: (0.0509, 104), Platform.CHAT: (0.0240, 69), Platform.GAB: (0.0172, 23)},
+    AttackSubtype.OUTING_DEADNAMING: {Platform.BOARDS: (0.0020, 4), Platform.CHAT: (0.0007, 2), Platform.GAB: (0.0, 0)},
+    AttackSubtype.DOX_PROPAGATION: {Platform.BOARDS: (0.0142, 29), Platform.CHAT: (0.0578, 166), Platform.GAB: (0.0060, 8)},
+    AttackSubtype.CONTENT_LEAKAGE_MISC: {Platform.BOARDS: (0.0054, 11), Platform.CHAT: (0.0028, 8), Platform.GAB: (0.0007, 1)},
+    AttackSubtype.IMPERSONATED_PROFILES: {Platform.BOARDS: (0.0220, 45), Platform.CHAT: (0.0132, 38), Platform.GAB: (0.0097, 13)},
+    AttackSubtype.SYNTHETIC_PORNOGRAPHY: {Platform.BOARDS: (0.0044, 9), Platform.CHAT: (0.0003, 1), Platform.GAB: (0.0007, 1)},
+    AttackSubtype.IMPERSONATION_MISC: {Platform.BOARDS: (0.0029, 6), Platform.CHAT: (0.0007, 2), Platform.GAB: (0.0015, 2)},
+    AttackSubtype.ACCOUNT_LOCKOUT: {Platform.BOARDS: (0.0010, 2), Platform.CHAT: (0.0010, 3), Platform.GAB: (0.0, 0)},
+    AttackSubtype.LOCKOUT_MISC: {Platform.BOARDS: (0.0015, 3), Platform.CHAT: (0.0007, 2), Platform.GAB: (0.0, 0)},
+    AttackSubtype.NEGATIVE_RATINGS_REVIEWS: {Platform.BOARDS: (0.0024, 5), Platform.CHAT: (0.0031, 9), Platform.GAB: (0.0037, 5)},
+    AttackSubtype.RAIDING: {Platform.BOARDS: (0.0435, 89), Platform.CHAT: (0.1287, 370), Platform.GAB: (0.1828, 244)},
+    AttackSubtype.SPAMMING: {Platform.BOARDS: (0.0088, 18), Platform.CHAT: (0.0077, 22), Platform.GAB: (0.0120, 16)},
+    AttackSubtype.OVERLOADING_MISC: {Platform.BOARDS: (0.0059, 12), Platform.CHAT: (0.0052, 15), Platform.GAB: (0.0, 0)},
+    AttackSubtype.HASHTAG_HIJACKING: {Platform.BOARDS: (0.0078, 16), Platform.CHAT: (0.0139, 40), Platform.GAB: (0.0165, 22)},
+    AttackSubtype.PUBLIC_OPINION_MISC: {Platform.BOARDS: (0.0616, 126), Platform.CHAT: (0.0174, 50), Platform.GAB: (0.0007, 1)},
+    AttackSubtype.FALSE_REPORTING_TO_AUTHORITIES: {Platform.BOARDS: (0.2000, 409), Platform.CHAT: (0.1082, 311), Platform.GAB: (0.1176, 157)},
+    AttackSubtype.MASS_FLAGGING: {Platform.BOARDS: (0.2039, 417), Platform.CHAT: (0.3163, 909), Platform.GAB: (0.1266, 169)},
+    AttackSubtype.REPORTING_MISC: {Platform.BOARDS: (0.1594, 326), Platform.CHAT: (0.1006, 289), Platform.GAB: (0.1640, 219)},
+    AttackSubtype.REPUTATIONAL_HARM_PRIVATE: {Platform.BOARDS: (0.0313, 64), Platform.CHAT: (0.0445, 128), Platform.GAB: (0.0180, 24)},
+    AttackSubtype.REPUTATIONAL_HARM_PUBLIC: {Platform.BOARDS: (0.0196, 40), Platform.CHAT: (0.0835, 240), Platform.GAB: (0.0884, 118)},
+    AttackSubtype.REPUTATIONAL_HARM_MISC: {Platform.BOARDS: (0.0274, 56), Platform.CHAT: (0.0007, 2), Platform.GAB: (0.0007, 1)},
+    AttackSubtype.STALKING_OR_TRACKING: {Platform.BOARDS: (0.0049, 10), Platform.CHAT: (0.0049, 14), Platform.GAB: (0.0030, 4)},
+    AttackSubtype.SURVEILLANCE_MISC: {Platform.BOARDS: (0.0024, 5), Platform.CHAT: (0.0, 0), Platform.GAB: (0.0007, 1)},
+    AttackSubtype.HATE_SPEECH: {Platform.BOARDS: (0.0386, 79), Platform.CHAT: (0.0198, 57), Platform.GAB: (0.0442, 59)},
+    AttackSubtype.UNWANTED_EXPLICIT_CONTENT: {Platform.BOARDS: (0.0220, 45), Platform.CHAT: (0.0031, 9), Platform.GAB: (0.0015, 2)},
+    AttackSubtype.TOXIC_CONTENT_MISC: {Platform.BOARDS: (0.0156, 32), Platform.CHAT: (0.0024, 7), Platform.GAB: (0.0, 0)},
+    AttackSubtype.GENERIC: {Platform.BOARDS: (0.0714, 146), Platform.CHAT: (0.0560, 161), Platform.GAB: (0.0457, 61)},
+}
+
+# ---------------------------------------------------------------------------
+# Table 10 — taxonomy per target gender (share, count)
+# ---------------------------------------------------------------------------
+
+TABLE10_SIZES = {Gender.UNKNOWN: 2_711, Gender.FEMALE: 1_160, Gender.MALE: 2_383}
+
+TABLE10_GENDER: dict[AttackSubtype, dict[Gender, tuple[float, int]]] = {
+    AttackSubtype.DOXING: {Gender.UNKNOWN: (0.1096, 297), Gender.FEMALE: (0.1853, 215), Gender.MALE: (0.2018, 481)},
+    AttackSubtype.LEAKED_CHATS_PROFILE: {Gender.UNKNOWN: (0.0015, 4), Gender.FEMALE: (0.0112, 13), Gender.MALE: (0.0042, 10)},
+    AttackSubtype.NON_CONSENSUAL_MEDIA_EXPOSURE: {Gender.UNKNOWN: (0.0269, 73), Gender.FEMALE: (0.0647, 75), Gender.MALE: (0.0201, 48)},
+    AttackSubtype.OUTING_DEADNAMING: {Gender.UNKNOWN: (0.0004, 1), Gender.FEMALE: (0.0017, 2), Gender.MALE: (0.0013, 3)},
+    AttackSubtype.DOX_PROPAGATION: {Gender.UNKNOWN: (0.0210, 57), Gender.FEMALE: (0.0164, 19), Gender.MALE: (0.0533, 127)},
+    AttackSubtype.CONTENT_LEAKAGE_MISC: {Gender.UNKNOWN: (0.0018, 5), Gender.FEMALE: (0.0034, 4), Gender.MALE: (0.0046, 11)},
+    AttackSubtype.IMPERSONATED_PROFILES: {Gender.UNKNOWN: (0.0240, 65), Gender.FEMALE: (0.0129, 15), Gender.MALE: (0.0067, 16)},
+    AttackSubtype.SYNTHETIC_PORNOGRAPHY: {Gender.UNKNOWN: (0.0007, 2), Gender.FEMALE: (0.0060, 7), Gender.MALE: (0.0008, 2)},
+    AttackSubtype.IMPERSONATION_MISC: {Gender.UNKNOWN: (0.0018, 5), Gender.FEMALE: (0.0026, 3), Gender.MALE: (0.0008, 2)},
+    AttackSubtype.ACCOUNT_LOCKOUT: {Gender.UNKNOWN: (0.0007, 2), Gender.FEMALE: (0.0, 0), Gender.MALE: (0.0013, 3)},
+    AttackSubtype.LOCKOUT_MISC: {Gender.UNKNOWN: (0.0, 0), Gender.FEMALE: (0.0009, 1), Gender.MALE: (0.0017, 4)},
+    AttackSubtype.NEGATIVE_RATINGS_REVIEWS: {Gender.UNKNOWN: (0.0033, 9), Gender.FEMALE: (0.0009, 1), Gender.MALE: (0.0038, 9)},
+    AttackSubtype.RAIDING: {Gender.UNKNOWN: (0.1044, 283), Gender.FEMALE: (0.1586, 184), Gender.MALE: (0.0990, 236)},
+    AttackSubtype.SPAMMING: {Gender.UNKNOWN: (0.0085, 23), Gender.FEMALE: (0.0060, 7), Gender.MALE: (0.0109, 26)},
+    AttackSubtype.OVERLOADING_MISC: {Gender.UNKNOWN: (0.0007, 2), Gender.FEMALE: (0.0026, 3), Gender.MALE: (0.0092, 22)},
+    AttackSubtype.HASHTAG_HIJACKING: {Gender.UNKNOWN: (0.0255, 69), Gender.FEMALE: (0.0009, 1), Gender.MALE: (0.0034, 8)},
+    AttackSubtype.PUBLIC_OPINION_MISC: {Gender.UNKNOWN: (0.0413, 112), Gender.FEMALE: (0.0207, 24), Gender.MALE: (0.0172, 41)},
+    AttackSubtype.FALSE_REPORTING_TO_AUTHORITIES: {Gender.UNKNOWN: (0.1368, 371), Gender.FEMALE: (0.1457, 169), Gender.MALE: (0.1414, 337)},
+    AttackSubtype.MASS_FLAGGING: {Gender.UNKNOWN: (0.3017, 818), Gender.FEMALE: (0.1250, 145), Gender.MALE: (0.2232, 532)},
+    AttackSubtype.REPORTING_MISC: {Gender.UNKNOWN: (0.1575, 427), Gender.FEMALE: (0.0931, 108), Gender.MALE: (0.1255, 299)},
+    AttackSubtype.REPUTATIONAL_HARM_PRIVATE: {Gender.UNKNOWN: (0.0214, 58), Gender.FEMALE: (0.0750, 87), Gender.MALE: (0.0298, 71)},
+    AttackSubtype.REPUTATIONAL_HARM_PUBLIC: {Gender.UNKNOWN: (0.0745, 202), Gender.FEMALE: (0.0466, 54), Gender.MALE: (0.0596, 142)},
+    AttackSubtype.REPUTATIONAL_HARM_MISC: {Gender.UNKNOWN: (0.0066, 18), Gender.FEMALE: (0.0147, 17), Gender.MALE: (0.0101, 24)},
+    AttackSubtype.STALKING_OR_TRACKING: {Gender.UNKNOWN: (0.0041, 11), Gender.FEMALE: (0.0060, 7), Gender.MALE: (0.0042, 10)},
+    AttackSubtype.SURVEILLANCE_MISC: {Gender.UNKNOWN: (0.0015, 4), Gender.FEMALE: (0.0017, 2), Gender.MALE: (0.0, 0)},
+    AttackSubtype.HATE_SPEECH: {Gender.UNKNOWN: (0.0221, 60), Gender.FEMALE: (0.0345, 40), Gender.MALE: (0.0399, 95)},
+    AttackSubtype.UNWANTED_EXPLICIT_CONTENT: {Gender.UNKNOWN: (0.0037, 10), Gender.FEMALE: (0.0241, 28), Gender.MALE: (0.0076, 18)},
+    AttackSubtype.TOXIC_CONTENT_MISC: {Gender.UNKNOWN: (0.0015, 4), Gender.FEMALE: (0.0043, 5), Gender.MALE: (0.0126, 30)},
+    AttackSubtype.GENERIC: {Gender.UNKNOWN: (0.0421, 114), Gender.FEMALE: (0.0853, 99), Gender.MALE: (0.0650, 155)},
+}
+
+# ---------------------------------------------------------------------------
+# §6.2 — co-occurrence of attack types
+# ---------------------------------------------------------------------------
+
+COOCCURRENCE_STATS = {
+    "multi_type_share": 0.13,
+    "multi_type_count": 831,
+    "two_types": 767,
+    "three_types": 54,
+    "four_plus_types": 10,
+    "surveillance_with_leakage": 0.64,
+    "impersonation_with_pom": 0.30,
+}
+
+# ---------------------------------------------------------------------------
+# §6.3 — CTH thread analysis (boards only)
+# ---------------------------------------------------------------------------
+
+CTH_THREAD_STATS = {
+    "first_post_share": 0.037,
+    "first_post_count": 75,
+    "last_post_share": 0.027,
+    "last_post_count": 55,
+    "position_median": 70,
+    "position_mean": 145,
+    "position_std": 263,
+    "toxic_content_t_stat": 2.8477,
+    "baseline_sample": 5_000,
+    "tested_cth": 1_541,
+    "bh_error_rate": 0.1,
+}
+
+THREAD_OVERLAP_STATS = {
+    "cth_above_threshold": 30_685,
+    "cth_with_dox": 2_620,
+    "cth_with_dox_share": 0.0853,
+    "dox_threads_with_cth_share": 0.1785,
+    "random_thread_cth_share": 0.0020,
+    "random_thread_dox_share": 0.0010,
+}
+
+#: Gender of CTH targets (§6.2).
+CTH_GENDER_COUNTS = {Gender.MALE: 2_383, Gender.FEMALE: 1_160, Gender.UNKNOWN: 2_711}
+
+# ---------------------------------------------------------------------------
+# Table 6 — PII prevalence in annotated doxes (share, count)
+# ---------------------------------------------------------------------------
+
+TABLE6_SIZES = {Platform.BOARDS: 2_549, Platform.CHAT: 1_101, Platform.GAB: 1_657, Platform.PASTES: 3_118}
+
+TABLE6_PII: dict[str, dict[Platform, tuple[float, int]]] = {
+    "address": {Platform.BOARDS: (0.2934, 748), Platform.CHAT: (0.2961, 326), Platform.GAB: (0.1804, 299), Platform.PASTES: (0.4567, 1_424)},
+    "credit_card": {Platform.BOARDS: (0.0016, 4), Platform.CHAT: (0.0427, 47), Platform.GAB: (0.0, 0), Platform.PASTES: (0.0494, 154)},
+    "email": {Platform.BOARDS: (0.1487, 379), Platform.CHAT: (0.1471, 162), Platform.GAB: (0.2004, 332), Platform.PASTES: (0.4535, 1_414)},
+    "facebook": {Platform.BOARDS: (0.1244, 317), Platform.CHAT: (0.0636, 70), Platform.GAB: (0.0604, 100), Platform.PASTES: (0.3932, 1_226)},
+    "instagram": {Platform.BOARDS: (0.0420, 107), Platform.CHAT: (0.0327, 36), Platform.GAB: (0.0060, 10), Platform.PASTES: (0.0997, 311)},
+    "phone": {Platform.BOARDS: (0.2217, 565), Platform.CHAT: (0.2698, 297), Platform.GAB: (0.3024, 501), Platform.PASTES: (0.4551, 1_419)},
+    "ssn": {Platform.BOARDS: (0.0071, 18), Platform.CHAT: (0.0136, 15), Platform.GAB: (0.0042, 7), Platform.PASTES: (0.0398, 124)},
+    "twitter": {Platform.BOARDS: (0.0930, 237), Platform.CHAT: (0.0345, 38), Platform.GAB: (0.0628, 104), Platform.PASTES: (0.1363, 425)},
+    "youtube": {Platform.BOARDS: (0.0824, 210), Platform.CHAT: (0.0200, 22), Platform.GAB: (0.0109, 18), Platform.PASTES: (0.1180, 368)},
+}
+
+PII_EXTRACTION_EVAL = {
+    "eval_set_size": 98,
+    "min_accuracy": 0.95,
+    "perfect_regexes": 7,
+    "gender_eval_set_size": 123,
+    "gender_accuracy": 0.943,
+}
+
+# ---------------------------------------------------------------------------
+# Figure 2 — harm-risk overlap
+# ---------------------------------------------------------------------------
+
+FIGURE2_HARM_TOTALS = {"online": 3_959, "physical": 3_518, "economic": 2_443, "reputation": 3_601}
+
+FIGURE2_STATS = {
+    "all_four_count": 970,
+    "all_four_share": 0.115,
+    "all_four_pastes_share": 0.73,
+    "largest_combination": 1_016,
+    # §7.2: more than 50% of Discord samples had no harm-risk indicator.
+    "discord_no_risk_share": 0.50,
+    # Reputation risk occurs alone in 23% of chat-data cases.
+    "chat_reputation_alone_share": 0.23,
+}
+
+# ---------------------------------------------------------------------------
+# §7.3 — repeated doxes
+# ---------------------------------------------------------------------------
+
+REPEATED_DOX_STATS = {
+    "above_threshold_total": 70_820,
+    "repeated_count": 14_587,
+    "repeated_share": 0.201,
+    "same_dataset_share": 0.98,
+    "cross_posted_count": 250,
+    "pastes_count": 13_076,
+    "pastes_share": 0.8964,
+    "boards_count": 1_402,
+    "boards_share": 0.0961,
+    "chat_count": 62,
+    "gab_count": 47,
+    "annotated_repeated_count": 936,
+    "annotated_repeated_share": 0.1112,
+}
+
+# ---------------------------------------------------------------------------
+# §7.4 — dox thread analysis
+# ---------------------------------------------------------------------------
+
+DOX_THREAD_STATS = {
+    "first_post_share": 0.097,
+    "first_post_count": 248,
+    "last_post_share": 0.027,
+    "last_post_count": 69,
+    "position_median": 142,
+    "position_mean": 59,
+    "position_std": 236,
+}
+
+# ---------------------------------------------------------------------------
+# Table 8 — blog analysis funnel
+# ---------------------------------------------------------------------------
+
+TABLE8_BLOGS = {
+    "daily_stormer": {"posts": 36_851, "relevant": 3_072, "actual_doxes": 90, "actual_share": 0.029},
+    "noblogs": {"posts": 78_108, "relevant": 668, "relevant_with_foreign": 1_389, "actual_doxes": 66, "actual_share": 0.098},
+    "the_torch": {"posts": 93, "relevant": 38, "actual_doxes": 23, "actual_share": 0.605},
+}
+
+BLOG_STATS = {
+    "torch_keyword_missed": 10,
+    "torch_total_doxes": 33,
+    "stormer_overload_share": 0.60,
+    "stormer_overload_count": 54,
+    "stormer_contact_only_count": 26,
+    "stormer_contact_only_share": 0.29,
+    "noblogs_two_blogs_share": 0.45,
+    "blog_keywords": ("phone", "email", "dox", "dob:"),
+}
+
+# ---------------------------------------------------------------------------
+# §7.1 — PII co-occurrence headlines
+# ---------------------------------------------------------------------------
+
+PII_COOCCURRENCE_STATS = {
+    "core_min_cooccurrence": 0.35,  # address/phone/email co-occur >35% with all others
+    "facebook_email": 0.39,
+    "facebook_phone": 0.25,
+    "facebook_address": 0.24,
+    "youtube_core_max": 0.15,
+    "twitter_core_max": 0.20,
+}
+
+
+def scaled(count: int | float, scale: float = SCALE) -> int:
+    """Scale a paper count down to reproduction scale (at least 1 if >0)."""
+    value = int(round(count * scale))
+    if count > 0:
+        return max(value, 1)
+    return 0

@@ -1,0 +1,31 @@
+"""The paper's core contribution: the CTH/dox filtering pipeline (Fig. 1)."""
+
+from repro.pipeline.vectorized import VectorizedCorpus, TaskView
+from repro.pipeline.seeds import (
+    matches_seed_query,
+    cth_seed_candidates,
+    build_cth_seed,
+    build_dox_seed,
+    SeedSet,
+)
+from repro.pipeline.thresholds import ThresholdDecision, select_threshold, THRESHOLD_GRID
+from repro.pipeline.filtering import FilteringPipeline, PipelineConfig, FilterModel
+from repro.pipeline.results import PipelineResult, SourceOutcome
+
+__all__ = [
+    "VectorizedCorpus",
+    "TaskView",
+    "matches_seed_query",
+    "cth_seed_candidates",
+    "build_cth_seed",
+    "build_dox_seed",
+    "SeedSet",
+    "ThresholdDecision",
+    "select_threshold",
+    "THRESHOLD_GRID",
+    "FilteringPipeline",
+    "PipelineConfig",
+    "FilterModel",
+    "PipelineResult",
+    "SourceOutcome",
+]

@@ -1,0 +1,333 @@
+"""The end-to-end filtering pipeline (paper Fig. 1 and §5).
+
+Stages, matching the paper's numbering:
+
+1. seed annotations (§5.1) — prior-work-shaped dox labels / keyword-mined
+   and expert-annotated CTH labels;
+2. train the filter classifier on the seeds;
+3. active learning (§5.3): predict the full corpus, sample evenly across
+   ten score deciles per source, crowdsource-annotate, retrain — repeated
+   ``al_rounds`` times;
+4. hold-out evaluation of the final classifier (§5.4, Table 3);
+5. per-source threshold selection by precision spot-checks (§5.5);
+6. expert annotation of above-threshold samples → true positives
+   (Table 4);
+7. the annotated true-positive sets feed every analysis in §6–§7.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro import paper
+from repro.annotation.active_learning import decile_sample
+from repro.annotation.annotator import CROWD_PROFILES, EXPERT_PROFILE, SimulatedAnnotator
+from repro.annotation.crowdsource import CrowdsourceResult, CrowdsourcingService
+from repro.nlp.metrics import binary_classification_report, roc_auc
+from repro.nlp.models.logreg import LogisticRegressionClassifier
+from repro.nlp.spans import SpanStrategy
+from repro.pipeline.results import AnnotationProcessStats, PipelineResult, SourceOutcome
+from repro.pipeline.seeds import build_seed
+from repro.pipeline.thresholds import THRESHOLD_GRID, select_threshold
+from repro.pipeline.vectorized import TaskView, VectorizedCorpus
+from repro.types import Source, Task
+from repro.util.rng import child_rng
+
+#: Sources each task's pipeline covers (paper Table 4; CTH excludes pastes).
+TASK_SOURCES: Mapping[Task, tuple[Source, ...]] = {
+    Task.DOX: (Source.BOARDS, Source.DISCORD, Source.GAB, Source.PASTES, Source.TELEGRAM),
+    Task.CTH: (Source.BOARDS, Source.GAB, Source.DISCORD, Source.TELEGRAM),
+}
+
+#: Text length per task, in tokens per span.  The paper's optimised text
+#: lengths were 512 and 128 *characters* (Table 3); at ~4 characters per
+#: token these correspond to 128 and 32 tokens.
+TASK_MAX_TOKENS: Mapping[Task, int] = {Task.DOX: 128, Task.CTH: 32}
+
+
+@dataclasses.dataclass(frozen=True)
+class PipelineConfig:
+    """Pipeline knobs; defaults reproduce the paper's protocol."""
+
+    seed: int = 7
+    al_rounds: int = 2
+    al_per_bin: int = 60  # documents per score decile per source per round
+    span_strategy: SpanStrategy = SpanStrategy.RANDOM_NO_OVERLAP
+    max_tokens: int | None = None  # None -> TASK_MAX_TOKENS[task]
+    eval_fraction: float = 0.2
+    target_precision: float = 0.92
+    spot_sample_size: int = 200
+    threshold_grid: tuple[float, ...] = THRESHOLD_GRID
+    model_epochs: int = 6
+    model_l2: float = 1e-6
+    #: Per-source expert annotation caps; None -> the paper's Table 4 caps.
+    annotation_caps: Mapping[Source, int] | None = None
+
+    @classmethod
+    def tiny(cls, seed: int = 7) -> "PipelineConfig":
+        return cls(seed=seed, al_per_bin=12, model_epochs=4, spot_sample_size=40)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.eval_fraction < 0.5:
+            raise ValueError("eval_fraction must be in (0, 0.5)")
+        if self.al_rounds < 0:
+            raise ValueError("al_rounds must be non-negative")
+
+
+class FilterModel:
+    """A span-aware filter classifier bound to one task view."""
+
+    def __init__(self, view: TaskView, epochs: int = 6, l2: float = 1e-6, seed: int = 0) -> None:
+        self.view = view
+        self._model = LogisticRegressionClassifier(epochs=epochs, l2=l2, seed=seed)
+
+    def fit(self, positions: Sequence[int], labels: np.ndarray) -> "FilterModel":
+        rows, owner = self.view.rows_for_docs(positions)
+        labels = np.asarray(labels, dtype=bool)
+        self._model.fit(rows, labels[owner])
+        return self
+
+    def predict_all(self) -> np.ndarray:
+        """Document-level P(positive) for every document in the view."""
+        span_scores = self._model.predict_proba(self.view.matrix)
+        return self.view.doc_scores(span_scores)
+
+    def predict_docs(self, positions: Sequence[int]) -> np.ndarray:
+        rows, owner = self.view.rows_for_docs(positions)
+        span_scores = self._model.predict_proba(rows)
+        sums = np.bincount(owner, weights=span_scores, minlength=len(positions))
+        counts = np.bincount(owner, minlength=len(positions))
+        counts[counts == 0] = 1
+        return sums / counts
+
+
+class FilteringPipeline:
+    """Runs one task's full Fig.-1 pipeline over a vectorized corpus."""
+
+    def __init__(self, task: Task, config: PipelineConfig | None = None) -> None:
+        self.task = task
+        self.config = config or PipelineConfig()
+        self._expert = SimulatedAnnotator(
+            900 + (0 if task is Task.DOX else 1), EXPERT_PROFILE, self.config.seed
+        )
+
+    # -- public -------------------------------------------------------------
+
+    def run(self, vc: VectorizedCorpus) -> PipelineResult:
+        cfg = self.config
+        task = self.task
+        documents = vc.documents
+        max_tokens = cfg.max_tokens or TASK_MAX_TOKENS[task]
+        view = vc.task_view(max_tokens, cfg.span_strategy)
+        rng = child_rng(cfg.seed, "pipeline", task.value)
+
+        sources = TASK_SOURCES[task]
+        source_of = np.array(
+            [s.value if (s := doc.source) is not None else "" for doc in documents]
+        )
+        eligible_by_source = {
+            source: np.flatnonzero(source_of == source.value) for source in sources
+        }
+
+        # Stage 1: seed annotations.
+        seed_set = build_seed(documents, task, cfg.seed)
+        labels_store: dict[int, bool] = {
+            int(p): bool(l) for p, l in zip(seed_set.positions, seed_set.labels)
+        }
+        crowd_positions: dict[int, bool] = {}
+
+        # Stage 2: initial training.
+        model = self._fit(view, labels_store)
+
+        # Stage 3: active learning rounds.
+        crowd = CrowdsourcingService(CROWD_PROFILES[task], cfg.seed)
+        crowd_batches: list[CrowdsourceResult] = []
+        for al_round in range(cfg.al_rounds):
+            scores = model.predict_all()
+            for source in sources:
+                positions = eligible_by_source[source]
+                if positions.size == 0:
+                    continue
+                already = np.array(
+                    [i for i, p in enumerate(positions) if int(p) in labels_store],
+                    dtype=np.int64,
+                )
+                local = decile_sample(
+                    scores[positions], cfg.al_per_bin,
+                    child_rng(cfg.seed, "al", task.value, al_round, source.value),
+                    exclude=already if already.size else None,
+                )
+                if local.size == 0:
+                    continue
+                chosen = positions[local]
+                truths = np.array([documents[p].truth_for(task) for p in chosen])
+                result = crowd.annotate_batch(truths)
+                crowd_batches.append(result)
+                for p, label in zip(chosen, result.labels):
+                    labels_store[int(p)] = bool(label)
+                    crowd_positions[int(p)] = bool(label)
+            model = self._fit(view, labels_store)
+
+        # Stage 4: held-out evaluation (crowd annotations as ground truth,
+        # §5.4 — the paper withheld evaluation sets of annotations).
+        eval_report, eval_auc = self._evaluate(view, labels_store, crowd_positions, rng)
+
+        # Final model on all annotations; score the whole corpus.
+        model = self._fit(view, labels_store)
+        scores = model.predict_all()
+
+        # Stages 5-6: thresholds and expert annotation per source.
+        caps = dict(cfg.annotation_caps) if cfg.annotation_caps is not None else {
+            source: (int(1e12) if row["full"] else int(row["annotated"]))
+            for source, row in paper.TABLE4_THRESHOLDS[task].items()
+        }
+        outcomes: dict[Source, SourceOutcome] = {}
+        for source in sources:
+            positions = eligible_by_source[source]
+            if positions.size == 0:
+                continue
+            outcomes[source] = self._select_and_annotate(
+                source, positions, scores, documents, caps.get(source, int(1e12)), rng
+            )
+
+        training_sizes = self._training_sizes(crowd_positions, documents, sources)
+        stats = _combine_crowd_stats(crowd_batches)
+        return PipelineResult(
+            task=task,
+            documents=documents,
+            outcomes=outcomes,
+            eval_report=eval_report,
+            eval_auc=eval_auc,
+            training_data_sizes=training_sizes,
+            annotation_stats=stats,
+            scores=scores,
+            max_tokens=max_tokens,
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _fit(self, view: TaskView, labels_store: Mapping[int, bool]) -> FilterModel:
+        positions = np.fromiter(labels_store.keys(), dtype=np.int64, count=len(labels_store))
+        labels = np.fromiter(labels_store.values(), dtype=bool, count=len(labels_store))
+        model = FilterModel(
+            view, epochs=self.config.model_epochs, l2=self.config.model_l2,
+            seed=self.config.seed,
+        )
+        return model.fit(positions, labels)
+
+    def _evaluate(
+        self,
+        view: TaskView,
+        labels_store: Mapping[int, bool],
+        crowd_positions: Mapping[int, bool],
+        rng: np.random.Generator,
+    ) -> tuple[Mapping[str, Mapping[str, float]], float]:
+        """Hold out a slice of the *crowd-annotated* data for evaluation.
+
+        The seed annotations stay in training (they bootstrapped the
+        model); evaluation mirrors the paper's withheld annotation sets.
+        """
+        eval_pool = np.fromiter(crowd_positions.keys(), dtype=np.int64, count=len(crowd_positions))
+        if eval_pool.size < 20:  # degenerate corpora: fall back to everything
+            eval_pool = np.fromiter(labels_store.keys(), dtype=np.int64, count=len(labels_store))
+        n_eval = max(int(eval_pool.size * self.config.eval_fraction), 10)
+        eval_positions = rng.choice(
+            eval_pool, size=min(n_eval, eval_pool.size // 2), replace=False
+        )
+        eval_set = set(int(p) for p in eval_positions)
+        train_positions = np.array(
+            [p for p in labels_store if p not in eval_set], dtype=np.int64
+        )
+        train_labels = np.array([labels_store[int(p)] for p in train_positions], dtype=bool)
+        if train_labels.all() or not train_labels.any():
+            raise RuntimeError("train split lost a class; corpus too small for eval")
+        model = FilterModel(
+            view, epochs=self.config.model_epochs, l2=self.config.model_l2,
+            seed=self.config.seed,
+        ).fit(train_positions, train_labels)
+        probs = model.predict_docs(eval_positions)
+        y_true = np.array([labels_store[int(p)] for p in eval_positions], dtype=bool)
+        report = binary_classification_report(
+            y_true, probs > 0.5,
+            positive_name="positive", negative_name="negative",
+        )
+        auc = roc_auc(y_true, probs) if y_true.any() and not y_true.all() else float("nan")
+        return report, auc
+
+    def _select_and_annotate(
+        self,
+        source: Source,
+        positions: np.ndarray,
+        scores: np.ndarray,
+        documents: Sequence,
+        cap: int,
+        rng: np.random.Generator,
+    ) -> SourceOutcome:
+        source_scores = scores[positions]
+        truths = np.array([documents[p].truth_for(self.task) for p in positions])
+
+        def annotate(sample_idx: np.ndarray) -> np.ndarray:
+            return self._expert.annotate_many(truths[sample_idx])
+
+        decision = select_threshold(
+            source_scores,
+            annotate,
+            child_rng(self.config.seed, "threshold", self.task.value, source.value),
+            grid=self.config.threshold_grid,
+            target_precision=self.config.target_precision,
+            sample_size=self.config.spot_sample_size,
+            annotatable_cap=cap,
+        )
+        above_local = np.flatnonzero(source_scores > decision.threshold)
+        fully = above_local.size <= cap
+        if fully:
+            annotated_local = above_local
+        else:
+            annotated_local = np.sort(
+                rng.choice(above_local, size=cap, replace=False)
+            )
+        expert_labels = self._expert.annotate_many(truths[annotated_local])
+        tp_local = annotated_local[expert_labels]
+        return SourceOutcome(
+            source=source,
+            threshold=decision.threshold,
+            n_above=int(above_local.size),
+            n_annotated=int(annotated_local.size),
+            n_true_positive=int(tp_local.size),
+            fully_annotated=fully,
+            above_positions=positions[above_local],
+            true_positive_positions=positions[tp_local],
+        )
+
+    def _training_sizes(
+        self,
+        crowd_positions: Mapping[int, bool],
+        documents: Sequence,
+        sources: Sequence[Source],
+    ) -> dict[Source, tuple[int, int]]:
+        sizes = {source: [0, 0] for source in sources}
+        for position, label in crowd_positions.items():
+            source = documents[position].source
+            if source in sizes:
+                sizes[source][0 if label else 1] += 1
+        return {source: (pos, neg) for source, (pos, neg) in sizes.items()}
+
+
+def _combine_crowd_stats(batches: Sequence[CrowdsourceResult]) -> AnnotationProcessStats:
+    if not batches:
+        return AnnotationProcessStats(0, 0.0, float("nan"), 0, 0, 0)
+    first = np.concatenate([b.first for b in batches])
+    second = np.concatenate([b.second for b in batches])
+    from repro.nlp.metrics import cohens_kappa  # local to avoid cycle at import
+
+    return AnnotationProcessStats(
+        n_documents=int(first.size),
+        disagreement_rate=float(np.mean(first != second)),
+        kappa=cohens_kappa(first, second),
+        n_tiebreaks=sum(b.n_tiebreaks for b in batches),
+        n_removed_annotators=max(b.n_removed_annotators for b in batches),
+        n_qualification_failures=max(b.n_qualification_failures for b in batches),
+    )

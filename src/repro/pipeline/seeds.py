@@ -1,0 +1,145 @@
+"""Initial (seed) annotations for both tasks (paper §5.1, Fig. 4).
+
+* **Doxes**: the paper bootstrapped from Snyder et al.'s pastebin labels
+  plus Doxbin positives.  The stand-in draws the same-shaped seed set from
+  the paste substrate, using oracle labels in the role of the prior work's
+  annotations.
+* **Calls to harassment**: no prior labels existed; the paper mined
+  candidates with a conjunctive keyword query (mobilising language AND an
+  outgroup target reference) over the board data sets and had three
+  authors annotate them.  Both steps are reproduced: the query predicate
+  and the simulated three-expert majority annotation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Sequence
+
+import numpy as np
+
+from repro.annotation.annotator import EXPERT_PROFILE, SimulatedAnnotator
+from repro.corpus.documents import Document
+from repro.types import Platform, Source, Task
+from repro.util.rng import child_rng
+
+#: First clause of the Fig.-4 query: mobilising language.
+MOBILIZING_PATTERNS = (
+    "we need to",
+    "we should",
+    "lets",
+    "let's",
+    "we have",
+    "we will",
+    "we ",
+)
+#: Subclause: in-group mobilising language versus a target.
+TARGET_PATTERNS = (" them", " him", " her", " all", " entire")
+
+_MOBILIZING_RE = re.compile("|".join(re.escape(p) for p in MOBILIZING_PATTERNS))
+_TARGET_RE = re.compile("|".join(re.escape(p) for p in TARGET_PATTERNS))
+
+
+def matches_seed_query(text: str) -> bool:
+    """The paper's conjunctive keyword query as a predicate (Fig. 4)."""
+    lowered = text.lower()
+    return bool(_MOBILIZING_RE.search(lowered)) and bool(_TARGET_RE.search(lowered))
+
+
+@dataclasses.dataclass(frozen=True)
+class SeedSet:
+    """Document positions (into the pipeline's doc list) with seed labels."""
+
+    positions: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.positions.shape != self.labels.shape:
+            raise ValueError("positions and labels must align")
+
+    @property
+    def n_positive(self) -> int:
+        return int(self.labels.sum())
+
+    @property
+    def n_negative(self) -> int:
+        return int(self.labels.size - self.labels.sum())
+
+
+def cth_seed_candidates(
+    documents: Sequence[Document], sources: Sequence[Source] = (Source.BOARDS,)
+) -> np.ndarray:
+    """Positions of documents matching the keyword query on seed sources."""
+    wanted = set(sources)
+    return np.array(
+        [
+            pos
+            for pos, doc in enumerate(documents)
+            if doc.source in wanted and matches_seed_query(doc.text)
+        ],
+        dtype=np.int64,
+    )
+
+
+def build_cth_seed(
+    documents: Sequence[Document],
+    seed: int,
+    max_candidates: int = 2_000,
+) -> SeedSet:
+    """Keyword-mine CTH candidates and annotate them with three experts.
+
+    The final seed label is the majority vote of three simulated domain
+    experts, mirroring the three author-annotators of §5.1.
+    """
+    rng = child_rng(seed, "cth-seed")
+    candidates = cth_seed_candidates(documents)
+    if candidates.size == 0:
+        raise ValueError("keyword query matched no documents; corpus too small?")
+    if candidates.size > max_candidates:
+        candidates = np.sort(rng.choice(candidates, size=max_candidates, replace=False))
+    experts = [SimulatedAnnotator(i, EXPERT_PROFILE, seed + 101) for i in range(3)]
+    truths = np.array([documents[p].truth.is_cth for p in candidates], dtype=bool)
+    votes = np.stack([e.annotate_many(truths) for e in experts])
+    labels = votes.sum(axis=0) >= 2
+    return SeedSet(positions=candidates, labels=labels)
+
+
+def build_dox_seed(
+    documents: Sequence[Document],
+    seed: int,
+    n_positive: int = 600,
+    n_negative: int = 5_000,
+) -> SeedSet:
+    """Draw the prior-work-shaped dox seed set from the paste substrate.
+
+    Positive labels play the role of Snyder et al.'s annotations (which
+    were human ground truth); negatives are paste documents sampled at
+    random (and oracle-checked, as the prior work's negatives were).
+    """
+    rng = child_rng(seed, "dox-seed")
+    paste_positions = np.array(
+        [pos for pos, doc in enumerate(documents) if doc.platform is Platform.PASTES],
+        dtype=np.int64,
+    )
+    if paste_positions.size == 0:
+        raise ValueError("no paste documents available for the dox seed")
+    truths = np.array([documents[p].truth.is_dox for p in paste_positions], dtype=bool)
+    pos_pool = paste_positions[truths]
+    neg_pool = paste_positions[~truths]
+    take_pos = min(n_positive, pos_pool.size)
+    take_neg = min(n_negative, neg_pool.size)
+    if take_pos == 0 or take_neg == 0:
+        raise ValueError("paste substrate lacks one of the seed classes")
+    chosen_pos = rng.choice(pos_pool, size=take_pos, replace=False)
+    chosen_neg = rng.choice(neg_pool, size=take_neg, replace=False)
+    positions = np.concatenate([chosen_pos, chosen_neg])
+    labels = np.concatenate([np.ones(take_pos, bool), np.zeros(take_neg, bool)])
+    order = np.argsort(positions)
+    return SeedSet(positions=positions[order], labels=labels[order])
+
+
+def build_seed(documents: Sequence[Document], task: Task, seed: int) -> SeedSet:
+    if task is Task.CTH:
+        return build_cth_seed(documents, seed)
+    return build_dox_seed(documents, seed)

@@ -1,0 +1,112 @@
+"""Per-source threshold selection (paper §5.5).
+
+The procedure, exactly as described: start at t = 0.5, manually annotate a
+random sample of documents above the threshold to estimate precision; if
+precision is too low to make expert annotation worthwhile, raise t and
+re-evaluate; once precision is sufficient, probe the next *lower* grid
+value — if precision there is similar, keep the lower t for recall.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Sequence
+
+import numpy as np
+
+#: Threshold grid; includes the paper's chosen values (0.5 … 0.935).
+THRESHOLD_GRID: tuple[float, ...] = (0.5, 0.6, 0.7, 0.8, 0.9, 0.935, 0.97)
+
+
+@dataclasses.dataclass(frozen=True)
+class ThresholdDecision:
+    """Outcome of the threshold search for one (task, source) pair."""
+
+    threshold: float
+    n_above: int
+    #: (threshold, estimated precision, sample size) per probe, in order.
+    history: tuple[tuple[float, float, int], ...]
+
+
+def select_threshold(
+    scores: np.ndarray,
+    annotate: Callable[[np.ndarray], np.ndarray],
+    rng: np.random.Generator,
+    grid: Sequence[float] = THRESHOLD_GRID,
+    target_precision: float = 0.90,
+    sample_size: int = 150,
+    lower_tolerance: float = 0.07,
+    min_above: int = 5,
+    annotatable_cap: int | None = None,
+    workable_precision: float = 0.45,
+) -> ThresholdDecision:
+    """Run the §5.5 search over ``grid`` for one source.
+
+    ``annotate`` receives candidate indices (into ``scores``) and returns
+    expert labels — the pipeline passes a simulated-domain-expert closure,
+    so the search consumes annotation budget exactly like the paper's.
+
+    The precision target exists because low precision makes the manual
+    annotation budget unworkable; accordingly, when everything above the
+    standard 0.5 threshold fits within ``annotatable_cap`` (the paper's
+    "size was manageable" case for Discord/Telegram/Gab), any precision
+    above ``workable_precision`` is accepted at the lowest threshold.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    grid = sorted(grid)
+    history: list[tuple[float, float, int]] = []
+    precision_at: dict[float, float] = {}
+
+    def probe(threshold: float) -> float:
+        if threshold in precision_at:
+            return precision_at[threshold]
+        above = np.flatnonzero(scores > threshold)
+        if above.size == 0:
+            precision_at[threshold] = 0.0
+            history.append((threshold, 0.0, 0))
+            return 0.0
+        take = min(sample_size, above.size)
+        sample = rng.choice(above, size=take, replace=False)
+        labels = np.asarray(annotate(sample), dtype=bool)
+        precision = float(labels.mean())
+        precision_at[threshold] = precision
+        history.append((threshold, precision, take))
+        return precision
+
+    # Manageable-volume shortcut: everything above the standard threshold
+    # can be expert-annotated, so a workable precision suffices.
+    if annotatable_cap is not None:
+        base = grid[0]
+        if int((scores > base).sum()) <= annotatable_cap and probe(base) >= workable_precision:
+            return ThresholdDecision(
+                threshold=base,
+                n_above=int((scores > base).sum()),
+                history=tuple(history),
+            )
+
+    # Phase 1: raise until precision is workable (or the grid runs out).
+    chosen_idx = 0
+    for idx, threshold in enumerate(grid):
+        chosen_idx = idx
+        above_count = int((scores > threshold).sum())
+        if above_count < min_above and idx > 0:
+            chosen_idx = idx - 1
+            break
+        if probe(threshold) >= target_precision:
+            break
+
+    # Phase 2: probe lower values; keep the lowest with similar precision.
+    chosen = grid[chosen_idx]
+    while chosen_idx > 0:
+        lower = grid[chosen_idx - 1]
+        if probe(lower) >= precision_at[chosen] - lower_tolerance:
+            chosen_idx -= 1
+            chosen = lower
+        else:
+            break
+
+    return ThresholdDecision(
+        threshold=chosen,
+        n_above=int((scores > chosen).sum()),
+        history=tuple(history),
+    )

@@ -1,0 +1,6 @@
+"""Paper-versus-measured report rendering for every table and figure."""
+
+from repro.reporting import figures, tables
+from repro.reporting.bundle import generate_report_bundle
+
+__all__ = ["tables", "figures", "generate_report_bundle"]

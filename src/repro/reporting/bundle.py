@@ -1,0 +1,72 @@
+"""One-call generation of every paper-vs-measured report from a Study.
+
+Used by ``repro run --all`` and anywhere a complete report set is needed
+without going through the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.analysis.attack_stats import attack_type_table, subtype_table
+from repro.analysis.blogs import blog_analysis
+from repro.analysis.cooccurrence import attack_cooccurrence
+from repro.analysis.gender_stats import gender_subtype_table
+from repro.analysis.harm_risk_stats import harm_risk_overlap
+from repro.analysis.pii_stats import pii_prevalence_table
+from repro.analysis.threads import (
+    baseline_board_posts,
+    response_sizes,
+)
+from repro.lab import Study
+from repro.reporting import figures, tables
+from repro.types import Source, Task
+
+
+def generate_report_bundle(study: Study) -> Mapping[str, str]:
+    """Render every table/figure the study supports; returns name -> text.
+
+    Blog reports require the corpus to include blogs (always true for
+    generated corpora); thread reports require board data.
+    """
+    reports: dict[str, str] = {}
+    reports["table1_datasets"] = tables.render_table1(study.corpus)
+    reports["table2_training_data"] = tables.render_table2(study.results)
+    reports["table3_classifier_perf"] = tables.render_table3(study.results)
+    reports["table4_thresholds"] = tables.render_table4(study.results)
+    reports["figure1_funnel"] = tables.render_figure1(study.results)
+    reports["table5_attack_types"] = tables.render_table5(
+        attack_type_table(study.coded_cth_by_platform)
+    )
+    reports["table6_pii"] = tables.render_table6(
+        pii_prevalence_table(study.annotated_doxes_by_platform)
+    )
+    reports["table7_harm_risk"] = tables.render_table7()
+    blog_outcomes = blog_analysis(list(study.corpus))
+    reports["table8_blogs"] = tables.render_table8(blog_outcomes)
+    reports["table9_blog_taxonomy"] = tables.render_table9(blog_outcomes)
+    reports["table10_gender"] = tables.render_table10(
+        gender_subtype_table(study.coded_cth)
+    )
+    reports["table11_taxonomy"] = tables.render_table11(
+        subtype_table(study.coded_cth_by_platform)
+    )
+    reports["figure2_harm_overlap"] = figures.render_figure2(
+        harm_risk_overlap(study.annotated_doxes)
+    )
+    board_cth = study.results[Task.CTH].true_positive_documents(Source.BOARDS)
+    if board_cth:
+        baseline = baseline_board_posts(study.corpus, 2_000, seed=13)
+        reports["figure5_thread_cdf"] = figures.render_cdf_plot(
+            {
+                "CTH": response_sizes(study.corpus, board_cth).tolist(),
+                "Baseline": response_sizes(study.corpus, baseline).tolist(),
+            },
+            title="Figure 5 — responses after CTH vs random baseline (CDF)",
+        )
+    cooc = attack_cooccurrence(study.coded_cth)
+    reports["cooccurrence_summary"] = (
+        f"multi-type share: {cooc.multi_type_share:.1%} (paper 13%)\n"
+        f"histogram: { {k: v for k, v in sorted(cooc.type_count_histogram.items())} }"
+    )
+    return reports

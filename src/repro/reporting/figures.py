@@ -1,0 +1,129 @@
+"""ASCII renderers for the paper's figures (2, 5, 6)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro import paper
+from repro.analysis.harm_risk_stats import HarmRiskOverlap
+from repro.taxonomy.harm_risk import HarmRisk
+from repro.util.tables import format_table
+
+
+def render_cdf_plot(
+    series: Mapping[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    log_x: bool = True,
+) -> str:
+    """Plot one ASCII CDF per named series on a shared (log) x axis.
+
+    Used for Figure 5 (CTH response volume vs baseline).
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    marks = "ox+*#"
+    all_values = np.concatenate([np.asarray(v, dtype=np.float64) for v in series.values()])
+    all_values = all_values[all_values >= 0] + 1.0  # log-safe
+    x_max = float(all_values.max())
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, values) in enumerate(series.items()):
+        arr = np.sort(np.asarray(values, dtype=np.float64) + 1.0)
+        if arr.size == 0:
+            continue
+        cdf = np.arange(1, arr.size + 1) / arr.size
+        for col in range(width):
+            if log_x:
+                x = np.exp(np.log(x_max) * (col + 1) / width)
+            else:
+                x = x_max * (col + 1) / width
+            p = float(cdf[min(np.searchsorted(arr, x, side="right"), arr.size) - 1]) if arr[0] <= x else 0.0
+            row = height - 1 - min(int(p * (height - 1) + 0.5), height - 1)
+            grid[row][col] = marks[si % len(marks)]
+    lines = [title] if title else []
+    lines.append("CDF 1.0 +" + "-" * width)
+    for r, row in enumerate(grid):
+        label = "        |"
+        if r == height - 1:
+            label = "    0.0 |"
+        lines.append(label + "".join(row))
+    lines.append("        +" + "-" * width)
+    axis = "log(size)" if log_x else "size"
+    lines.append(f"         1 {' ' * (width - 16)}{axis} -> {x_max - 1:.0f}")
+    for si, name in enumerate(series):
+        lines.append(f"  {marks[si % len(marks)]} = {name}")
+    return "\n".join(lines)
+
+
+def render_figure2(overlap: HarmRiskOverlap) -> str:
+    """Figure 2: harm-risk combination overlap as a matrix table."""
+    risk_order = [HarmRisk.PHYSICAL, HarmRisk.ECONOMIC, HarmRisk.ONLINE, HarmRisk.REPUTATION]
+    combos = sorted(
+        ((combo, count) for combo, count in overlap.combinations.items() if combo),
+        key=lambda kv: -kv[1],
+    )
+    rows = []
+    for combo, count in combos:
+        rows.append(
+            [
+                "+".join(sorted(r.value for r in combo)),
+                len(combo),
+                count,
+                f"{100.0 * count / max(overlap.n_documents, 1):.1f}%",
+            ]
+        )
+    header = format_table(
+        ["Combination", "k", "doxes", "share"],
+        rows,
+        title="Figure 2 — harm-risk combination overlap",
+    )
+    totals = format_table(
+        ["Risk", "measured total", "paper total (scaled)"],
+        [
+            (
+                risk.value,
+                overlap.totals[risk],
+                paper.scaled(paper.FIGURE2_HARM_TOTALS[risk.value], 0.5),
+            )
+            for risk in risk_order
+        ],
+    )
+    extras = [
+        "",
+        f"all four risks: {overlap.all_four_count} "
+        f"({overlap.all_four_share * 100:.1f}%; paper 11.5%)",
+        f"all-four from pastes: {overlap.all_four_pastes_share * 100:.0f}% (paper 73%)",
+        f"no risk indicator: {overlap.no_risk_share() * 100:.1f}%",
+    ]
+    return header + "\n\n" + totals + "\n".join(extras)
+
+
+def render_box_summary(
+    series: Mapping[str, Sequence[float]], title: str = ""
+) -> str:
+    """Figure-6-style distribution summary: quartiles per attack type."""
+    rows = []
+    for name, values in series.items():
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.size == 0:
+            rows.append((name, 0, "-", "-", "-", "-", "-"))
+            continue
+        rows.append(
+            (
+                name,
+                int(arr.size),
+                f"{np.percentile(arr, 25):.0f}",
+                f"{np.percentile(arr, 50):.0f}",
+                f"{np.percentile(arr, 75):.0f}",
+                f"{arr.mean():.0f}",
+                f"{arr.max():.0f}",
+            )
+        )
+    return format_table(
+        ["Attack type", "n", "q25", "median", "q75", "mean", "max"],
+        rows,
+        title=title or "Figure 6 — thread size per attack type",
+    )

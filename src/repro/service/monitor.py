@@ -1,0 +1,201 @@
+"""Online harassment monitor: scoring, target linking, campaign alerts.
+
+The monitor consumes :class:`~repro.service.stream.StreamMessage` batches,
+scores each message with the trained CTH and dox filter models, extracts
+target handles from detections, and maintains sliding-window state per
+target.  Alerts:
+
+* ``CTH`` / ``DOX`` — a single message crossed its detection threshold;
+* ``CAMPAIGN`` — at least ``campaign_min_messages`` detections referenced
+  the same target handle within ``campaign_window_seconds`` (the
+  coordinated-incitement pattern the paper studies);
+* ``DOX_ESCALATION`` — a detected dox whose target already had a recent
+  call to harassment (the §6.3 thread-overlap pattern, generalised to
+  targets).
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import enum
+from typing import Iterable, Sequence
+
+from repro.extraction.pii import extract_pii
+from repro.nlp.features import HashingVectorizer
+from repro.service.stream import StreamMessage
+from repro.taxonomy.coding import ExpertCoder
+
+_OSN = ("facebook", "instagram", "twitter", "youtube")
+
+
+class AlertKind(enum.Enum):
+    CTH = "call_to_harassment"
+    DOX = "dox"
+    CAMPAIGN = "campaign"
+    DOX_ESCALATION = "dox_escalation"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Alert:
+    kind: AlertKind
+    message_id: int
+    timestamp: float
+    score: float
+    target_handle: str | None = None
+    detail: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class MonitorConfig:
+    cth_threshold: float = 0.5
+    dox_threshold: float = 0.5
+    campaign_window_seconds: float = 7 * 24 * 3600.0
+    campaign_min_messages: int = 3
+    #: Re-alerting the same target campaign more than once per window is
+    #: noise; the monitor deduplicates.
+    dedupe_campaign_alerts: bool = True
+
+    def __post_init__(self) -> None:
+        if self.campaign_min_messages < 2:
+            raise ValueError("a campaign needs at least two messages")
+        if self.campaign_window_seconds <= 0:
+            raise ValueError("campaign window must be positive")
+
+
+@dataclasses.dataclass
+class MonitorStats:
+    messages_processed: int = 0
+    cth_detected: int = 0
+    dox_detected: int = 0
+    campaigns_alerted: int = 0
+    escalations_alerted: int = 0
+
+
+class HarassmentMonitor:
+    """Stateful online detector over a message stream."""
+
+    def __init__(
+        self,
+        cth_model,
+        dox_model,
+        vectorizer: HashingVectorizer,
+        config: MonitorConfig | None = None,
+    ) -> None:
+        self._cth = cth_model
+        self._dox = dox_model
+        self._vectorizer = vectorizer
+        self.config = config or MonitorConfig()
+        self.stats = MonitorStats()
+        self._coder = ExpertCoder()
+        #: target handle -> deque of (timestamp, message_id) detections
+        self._target_activity: dict[str, collections.deque] = {}
+        #: target handle -> timestamp of last campaign alert
+        self._campaign_alerted_at: dict[str, float] = {}
+        #: target handle -> timestamp of last CTH detection
+        self._last_cth_for_target: dict[str, float] = {}
+
+    # -- internals ------------------------------------------------------------
+
+    def _handles(self, text: str) -> list[str]:
+        extracted = extract_pii(text)
+        return [
+            f"{category}:{value.lower()}"
+            for category in _OSN
+            for value in extracted.get(category, ())
+        ]
+
+    def _note_target_activity(
+        self, handle: str, message: StreamMessage
+    ) -> tuple[bool, int]:
+        """Record a detection against a target; return (campaign?, count)."""
+        window = self.config.campaign_window_seconds
+        activity = self._target_activity.setdefault(handle, collections.deque())
+        activity.append((message.timestamp, message.message_id))
+        while activity and activity[0][0] < message.timestamp - window:
+            activity.popleft()
+        count = len(activity)
+        if count < self.config.campaign_min_messages:
+            return False, count
+        if self.config.dedupe_campaign_alerts:
+            last = self._campaign_alerted_at.get(handle)
+            if last is not None and message.timestamp - last < window:
+                return False, count
+        self._campaign_alerted_at[handle] = message.timestamp
+        return True, count
+
+    # -- public ----------------------------------------------------------------
+
+    def process_batch(self, messages: Sequence[StreamMessage]) -> list[Alert]:
+        """Score one batch; returns the alerts it raised, in order."""
+        if not messages:
+            return []
+        features = self._vectorizer.transform_texts([m.text for m in messages])
+        cth_scores = self._cth.predict_proba(features)
+        dox_scores = self._dox.predict_proba(features)
+        alerts: list[Alert] = []
+        for message, cth_score, dox_score in zip(messages, cth_scores, dox_scores):
+            self.stats.messages_processed += 1
+            is_cth = cth_score > self.config.cth_threshold
+            is_dox = dox_score > self.config.dox_threshold
+            if not is_cth and not is_dox:
+                continue
+            handles = self._handles(message.text)
+            if is_cth:
+                self.stats.cth_detected += 1
+                subtypes = ", ".join(str(s) for s in self._coder.code_text(message.text))
+                alerts.append(Alert(
+                    AlertKind.CTH, message.message_id, message.timestamp,
+                    float(cth_score),
+                    target_handle=handles[0] if handles else None,
+                    detail=subtypes,
+                ))
+                for handle in handles:
+                    self._last_cth_for_target[handle] = message.timestamp
+            if is_dox:
+                self.stats.dox_detected += 1
+                alerts.append(Alert(
+                    AlertKind.DOX, message.message_id, message.timestamp,
+                    float(dox_score),
+                    target_handle=handles[0] if handles else None,
+                    detail=f"pii: {', '.join(extract_pii(message.text)) or 'none'}",
+                ))
+                for handle in handles:
+                    last_cth = self._last_cth_for_target.get(handle)
+                    if (
+                        last_cth is not None
+                        and 0 <= message.timestamp - last_cth
+                        <= self.config.campaign_window_seconds
+                    ):
+                        self.stats.escalations_alerted += 1
+                        alerts.append(Alert(
+                            AlertKind.DOX_ESCALATION, message.message_id,
+                            message.timestamp, float(dox_score),
+                            target_handle=handle,
+                            detail="dox follows a recent call to harassment",
+                        ))
+                        break
+            for handle in handles:
+                campaign, count = self._note_target_activity(handle, message)
+                if campaign:
+                    self.stats.campaigns_alerted += 1
+                    alerts.append(Alert(
+                        AlertKind.CAMPAIGN, message.message_id, message.timestamp,
+                        float(max(cth_score, dox_score)),
+                        target_handle=handle,
+                        detail=f"{count} detections against target in window",
+                    ))
+        return alerts
+
+    def run(self, stream: Iterable[StreamMessage], batch_size: int = 256) -> list[Alert]:
+        """Consume an entire stream; returns all alerts."""
+        alerts: list[Alert] = []
+        batch: list[StreamMessage] = []
+        for message in stream:
+            batch.append(message)
+            if len(batch) == batch_size:
+                alerts.extend(self.process_batch(batch))
+                batch = []
+        if batch:
+            alerts.extend(self.process_batch(batch))
+        return alerts

@@ -1,0 +1,83 @@
+"""Message-stream replay over a corpus.
+
+Replays a corpus's documents in timestamp order as a stream of
+:class:`StreamMessage` items — the shape of data a deployed moderation
+service receives.  Streams can be filtered by platform and batched.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Iterator, Sequence
+
+from repro.corpus.documents import Document
+from repro.types import Platform, Source
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class StreamMessage:
+    """One message as the service sees it — no ground truth attached."""
+
+    message_id: int
+    platform: Platform
+    source: Source | None
+    channel: str
+    author: str
+    timestamp: float
+    text: str
+
+    @classmethod
+    def from_document(cls, doc: Document) -> "StreamMessage":
+        return cls(
+            message_id=doc.doc_id,
+            platform=doc.platform,
+            source=doc.source,
+            channel=doc.domain,
+            author=doc.author,
+            timestamp=doc.timestamp,
+            text=doc.text,
+        )
+
+
+class MessageStream:
+    """Timestamp-ordered replay of documents as stream messages."""
+
+    def __init__(
+        self,
+        documents: Iterable[Document],
+        platforms: Sequence[Platform] | None = None,
+    ) -> None:
+        wanted = set(platforms) if platforms is not None else None
+        self._documents = sorted(
+            (
+                d for d in documents
+                if wanted is None or d.platform in wanted
+            ),
+            key=lambda d: (d.timestamp, d.doc_id),
+        )
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[StreamMessage]:
+        for doc in self._documents:
+            yield StreamMessage.from_document(doc)
+
+    def batches(self, size: int) -> Iterator[list[StreamMessage]]:
+        """Yield messages in fixed-size batches (last one may be short)."""
+        if size <= 0:
+            raise ValueError("batch size must be positive")
+        batch: list[StreamMessage] = []
+        for message in self:
+            batch.append(message)
+            if len(batch) == size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
+    def oracle_labels(self) -> dict[int, tuple[bool, bool]]:
+        """message_id -> (is_cth, is_dox) ground truth, for evaluation only."""
+        return {
+            d.doc_id: (d.truth.is_cth, d.truth.is_dox) for d in self._documents
+        }

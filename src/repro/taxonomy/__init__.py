@@ -1,0 +1,26 @@
+"""Harassment attack-type and harm-risk taxonomies (paper §6.1, §7.2)."""
+
+from repro.taxonomy.attack_types import (
+    AttackType,
+    AttackSubtype,
+    PARENT_OF,
+    SUBTYPES_OF,
+    THOMAS_BASE_TAXONOMY,
+    TAXONOMY_CHANGES,
+)
+from repro.taxonomy.harm_risk import HarmRisk, HARM_RISK_PII, harm_risks_for_dox
+from repro.taxonomy.coding import ExpertCoder, CodedDocument
+
+__all__ = [
+    "AttackType",
+    "AttackSubtype",
+    "PARENT_OF",
+    "SUBTYPES_OF",
+    "THOMAS_BASE_TAXONOMY",
+    "TAXONOMY_CHANGES",
+    "HarmRisk",
+    "HARM_RISK_PII",
+    "harm_risks_for_dox",
+    "ExpertCoder",
+    "CodedDocument",
+]

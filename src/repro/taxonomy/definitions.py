@@ -1,0 +1,140 @@
+"""Long-form definitions for every taxonomy category (paper §6.1.1).
+
+The paper defines each parent attack type in prose with an example; this
+module carries those definitions (examples paraphrased to this
+reproduction's mild register) so tools can surface them — the CLI's
+``assess`` output, moderation UIs, and documentation all read from here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+from repro.taxonomy.attack_types import SUBTYPES_OF, AttackSubtype, AttackType
+
+
+@dataclasses.dataclass(frozen=True)
+class AttackDefinition:
+    attack: AttackType
+    definition: str
+    example: str
+
+
+DEFINITIONS: Mapping[AttackType, AttackDefinition] = {
+    AttackType.CONTENT_LEAKAGE: AttackDefinition(
+        AttackType.CONTENT_LEAKAGE,
+        "Intentional leaking of personal information, media/imagery, or "
+        "other PII; includes doxing.",
+        "'[name] must be harassed, get her phone number and address.'",
+    ),
+    AttackType.IMPERSONATION: AttackDefinition(
+        AttackType.IMPERSONATION,
+        "Intentionally pretending to represent a third party in order to "
+        "do harm to the impersonated or another individual; includes "
+        "creating false imagery presenting someone in a falsified context.",
+        "'make fake profiles of them and contact their friends and family.'",
+    ),
+    AttackType.LOCKOUT_AND_CONTROL: AttackDefinition(
+        AttackType.LOCKOUT_AND_CONTROL,
+        "Hacking or gaining unauthorized access to a target's account or "
+        "device, sometimes with an additional motive attached to access.",
+        "'phish his emails and find anything usable against him.'",
+    ),
+    AttackType.OVERLOADING: AttackDefinition(
+        AttackType.OVERLOADING,
+        "Attempting to put a target in a state where they are flooded "
+        "with notifications, messages, or calls they cannot manage; can "
+        "co-occur with doxing when targeted accounts are included.",
+        "'post the accounts so we can flood him with messages.'",
+    ),
+    AttackType.PUBLIC_OPINION_MANIPULATION: AttackDefinition(
+        AttackType.PUBLIC_OPINION_MANIPULATION,
+        "Spreading narratives with the direct intent of manipulating "
+        "public perception, including coordinated hashtag hijacking.",
+        "'keep pushing the tag until people believe the story.'",
+    ),
+    AttackType.REPORTING: AttackDefinition(
+        AttackType.REPORTING,
+        "Deceiving an online reporting system or institutional authority; "
+        "includes SWATing and mass account reporting for violations that "
+        "may not have occurred.",
+        "'let's mass-report his accounts until they are suspended.'",
+    ),
+    AttackType.REPUTATIONAL_HARM: AttackDefinition(
+        AttackType.REPUTATIONAL_HARM,
+        "Publicly or privately harassing an individual's family, employer "
+        "or community with the intent of damaging their reputation.",
+        "'tell his neighbours what he posts online.'",
+    ),
+    AttackType.SURVEILLANCE: AttackDefinition(
+        AttackType.SURVEILLANCE,
+        "Following or monitoring an individual and reporting the results "
+        "online with the intent of exposing otherwise private behaviour.",
+        "'track where they go and post the schedule.'",
+    ),
+    AttackType.TOXIC_CONTENT: AttackDefinition(
+        AttackType.TOXIC_CONTENT,
+        "A wide range of harassment including hate speech, unwanted "
+        "explicit content, or otherwise inflammatory remarks unwanted by "
+        "the target.",
+        "'message her with the worst you have until she leaves.'",
+    ),
+    AttackType.GENERIC: AttackDefinition(
+        AttackType.GENERIC,
+        "Mobilising language that encourages the crowd to harass a target "
+        "without suggesting an explicit tactic (added by the paper for "
+        "calls such as 'bully' or 'blackmail' with no method given).",
+        "'you all know what to do about this one.'",
+    ),
+}
+
+SUBTYPE_NOTES: Mapping[AttackSubtype, str] = {
+    AttackSubtype.DOXING: "publishing the target's PII without consent",
+    AttackSubtype.LEAKED_CHATS_PROFILE: "dumping private chat logs or profiles",
+    AttackSubtype.NON_CONSENSUAL_MEDIA_EXPOSURE: "spreading private imagery",
+    AttackSubtype.OUTING_DEADNAMING: "exposing identity or using a rejected name",
+    AttackSubtype.DOX_PROPAGATION: "re-spreading an existing dox",
+    AttackSubtype.CONTENT_LEAKAGE_MISC: "leakage without a specific subcategory",
+    AttackSubtype.IMPERSONATED_PROFILES: "fake accounts in the target's name",
+    AttackSubtype.SYNTHETIC_PORNOGRAPHY: "fabricated explicit imagery",
+    AttackSubtype.IMPERSONATION_MISC: "impersonation without a specific subcategory",
+    AttackSubtype.ACCOUNT_LOCKOUT: "taking over accounts and locking the target out",
+    AttackSubtype.LOCKOUT_MISC: "lockout/control without a specific subcategory",
+    AttackSubtype.NEGATIVE_RATINGS_REVIEWS: "coordinated review bombing",
+    AttackSubtype.RAIDING: "mass descending on the target's space "
+    "(merged with dogpiling by the paper)",
+    AttackSubtype.SPAMMING: "flooding the target's channels with messages",
+    AttackSubtype.OVERLOADING_MISC: "overloading without a specific subcategory",
+    AttackSubtype.HASHTAG_HIJACKING: "derailing a hashtag to manipulate perception",
+    AttackSubtype.PUBLIC_OPINION_MISC: "narrative manipulation without a "
+    "specific subcategory",
+    AttackSubtype.FALSE_REPORTING_TO_AUTHORITIES: "reporting the target to "
+    "police/immigration/employers on false grounds",
+    AttackSubtype.MASS_FLAGGING: "coordinated platform reports to censor the target",
+    AttackSubtype.REPORTING_MISC: "reporting abuse without a specific subcategory",
+    AttackSubtype.REPUTATIONAL_HARM_PRIVATE: "contacting the target's personal or "
+    "professional network privately",
+    AttackSubtype.REPUTATIONAL_HARM_PUBLIC: "publicly posting harmful narratives",
+    AttackSubtype.REPUTATIONAL_HARM_MISC: "reputational harm without a "
+    "specific subcategory",
+    AttackSubtype.STALKING_OR_TRACKING: "physically or digitally tracking the target",
+    AttackSubtype.SURVEILLANCE_MISC: "surveillance without a specific subcategory",
+    AttackSubtype.HATE_SPEECH: "directing slurs or hateful content at the target",
+    AttackSubtype.UNWANTED_EXPLICIT_CONTENT: "sending explicit content to the target",
+    AttackSubtype.TOXIC_CONTENT_MISC: "toxic content without a specific subcategory",
+    AttackSubtype.GENERIC: "no explicit tactic given",
+}
+
+
+def describe(attack: AttackType) -> str:
+    """One-paragraph description of a parent attack type + subcategories."""
+    definition = DEFINITIONS[attack]
+    subtypes = ", ".join(
+        s.value.split(": ")[-1] for s in SUBTYPES_OF[attack]
+    )
+    return (
+        f"{attack.value}: {definition.definition} "
+        f"Example: {definition.example} "
+        f"Subcategories: {subtypes}."
+    )

@@ -1,0 +1,49 @@
+"""Harm-risk taxonomy for doxes (paper §7.2, Table 7).
+
+A doxing target is considered at elevated risk of a harm category when the
+dox contains specific kinds of PII.  ``Reputation`` risk cannot be derived
+from extracted PII alone — the paper annotated it manually; here the
+equivalent signal is the coder/annotator judgement that the text names
+family members or an employer.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Mapping, Sequence
+
+
+class HarmRisk(enum.Enum):
+    ONLINE = "online"
+    PHYSICAL = "physical"
+    ECONOMIC = "economic"
+    REPUTATION = "reputation"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Table 7 — PII categories that trigger each risk.
+HARM_RISK_PII: Mapping[HarmRisk, Sequence[str]] = {
+    HarmRisk.ONLINE: ("email", "instagram", "facebook", "twitter", "youtube"),
+    HarmRisk.PHYSICAL: ("address",),  # includes zip code within the address
+    HarmRisk.ECONOMIC: ("email", "credit_card", "ssn"),
+    # Reputation: family member names / place of employment — manual signal.
+    HarmRisk.REPUTATION: (),
+}
+
+
+def harm_risks_for_dox(
+    pii_categories: Iterable[str], reputation_info: bool
+) -> frozenset[HarmRisk]:
+    """Map a dox's extracted PII (plus the manual reputation judgement)
+    to its set of elevated harm risks."""
+    categories = set(pii_categories)
+    risks = {
+        risk
+        for risk, triggers in HARM_RISK_PII.items()
+        if categories.intersection(triggers)
+    }
+    if reputation_info:
+        risks.add(HarmRisk.REPUTATION)
+    return frozenset(risks)

@@ -1,0 +1,62 @@
+"""Core enums shared across the whole reproduction."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Platform(enum.Enum):
+    """The five platform families studied by the paper (Table 1)."""
+
+    BOARDS = "boards"
+    BLOGS = "blogs"
+    CHAT = "chat"
+    GAB = "gab"
+    PASTES = "pastes"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Source(enum.Enum):
+    """Classifier data sources (paper Table 4).
+
+    The paper splits the ``chat`` platform into Discord and Telegram with
+    separate thresholds because their score distributions differ.
+    """
+
+    BOARDS = "boards"
+    DISCORD = "discord"
+    TELEGRAM = "telegram"
+    GAB = "gab"
+    PASTES = "pastes"
+
+    @property
+    def platform(self) -> Platform:
+        if self in (Source.DISCORD, Source.TELEGRAM):
+            return Platform.CHAT
+        return Platform(self.value)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Task(enum.Enum):
+    """The two detection tasks with separate pipelines (paper Fig. 1)."""
+
+    DOX = "doxing"
+    CTH = "call_to_harassment"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Gender(enum.Enum):
+    """Pronoun-inferred likely target gender (paper §5.6)."""
+
+    MALE = "male"
+    FEMALE = "female"
+    UNKNOWN = "unknown"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

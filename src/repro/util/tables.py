@@ -1,0 +1,61 @@
+"""Plain-text table rendering used by the benchmark harness.
+
+The benches print each paper table next to the measured reproduction, so
+the renderer favours alignment and stable column ordering over fanciness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    align_right: Sequence[bool] | None = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    ``align_right[i]`` right-aligns column ``i``; by default the first
+    column is left-aligned and the rest are right-aligned, which suits the
+    label-then-numbers shape of every table in the paper.
+    """
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    ncols = len(headers)
+    for row in str_rows:
+        if len(row) != ncols:
+            raise ValueError(f"row has {len(row)} cells, expected {ncols}")
+    if align_right is None:
+        align_right = [False] + [True] * (ncols - 1)
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in str_rows)) if str_rows else len(headers[i])
+        for i in range(ncols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(_pad(headers[i], widths[i], align_right[i]) for i in range(ncols)))
+    lines.append("  ".join("-" * widths[i] for i in range(ncols)))
+    for row in str_rows:
+        lines.append("  ".join(_pad(row[i], widths[i], align_right[i]) for i in range(ncols)))
+    return "\n".join(lines)
+
+
+def format_percent_count(count: int, total: int) -> str:
+    """Render ``count`` as the paper's ``12.34% (567)`` cell format."""
+    if total <= 0:
+        return f"0.00% ({count})"
+    return f"{100.0 * count / total:.2f}% ({count:,})"
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def _pad(text: str, width: int, right: bool) -> str:
+    return text.rjust(width) if right else text.ljust(width)

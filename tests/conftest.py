@@ -1,0 +1,26 @@
+"""Shared fixtures: tiny corpus and a tiny end-to-end study, built once."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus import CorpusBuilder, CorpusConfig
+from repro.lab import StudyConfig, run_study
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus():
+    """A small but fully-featured corpus (all platforms, all positives)."""
+    return CorpusBuilder(CorpusConfig.tiny()).build()
+
+
+@pytest.fixture(scope="session")
+def tiny_study():
+    """A complete tiny end-to-end study (corpus + both pipelines)."""
+    return run_study(StudyConfig.tiny())
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(42)

@@ -1,0 +1,81 @@
+"""Unit and property tests for the decile sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.annotation.active_learning import decile_sample
+
+
+def test_samples_from_every_populated_bin(rng):
+    scores = np.concatenate([np.full(100, 0.05), np.full(100, 0.55), np.full(100, 0.95)])
+    chosen = decile_sample(scores, n_per_bin=10, rng=rng)
+    bins = set((scores[chosen] * 10).astype(int))
+    assert bins == {0, 5, 9}
+    assert len(chosen) == 30
+
+
+def test_small_bins_fully_taken(rng):
+    scores = np.array([0.05, 0.06, 0.95])
+    chosen = decile_sample(scores, n_per_bin=10, rng=rng)
+    assert sorted(chosen.tolist()) == [0, 1, 2]
+
+
+def test_exclusion_respected(rng):
+    scores = np.linspace(0, 1, 100)
+    excluded = np.arange(0, 100, 2)
+    chosen = decile_sample(scores, n_per_bin=3, rng=rng, exclude=excluded)
+    assert not set(chosen) & set(excluded.tolist())
+
+
+def test_score_one_lands_in_top_bin(rng):
+    chosen = decile_sample(np.array([1.0, 0.0]), n_per_bin=5, rng=rng)
+    assert sorted(chosen.tolist()) == [0, 1]
+
+
+def test_invalid_inputs(rng):
+    with pytest.raises(ValueError):
+        decile_sample(np.array([[0.5]]), 1, rng)
+    with pytest.raises(ValueError):
+        decile_sample(np.array([0.5]), 0, rng)
+    with pytest.raises(ValueError):
+        decile_sample(np.array([1.5]), 1, rng)
+
+
+def test_all_excluded_returns_empty(rng):
+    scores = np.array([0.2, 0.4])
+    chosen = decile_sample(scores, 5, rng, exclude=np.array([0, 1]))
+    assert chosen.size == 0
+
+
+def test_indices_sorted_and_unique(rng):
+    scores = rng.random(500)
+    chosen = decile_sample(scores, 7, rng)
+    assert np.all(np.diff(chosen) > 0)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=300),
+    per_bin=st.integers(min_value=1, max_value=20),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=60)
+def test_sample_size_bounds(n, per_bin, seed):
+    gen = np.random.default_rng(seed)
+    scores = gen.random(n)
+    chosen = decile_sample(scores, per_bin, gen)
+    assert 0 < chosen.size <= min(n, per_bin * 10)
+    assert len(set(chosen.tolist())) == chosen.size
+    assert chosen.min() >= 0 and chosen.max() < n
+
+
+@given(st.integers(min_value=0, max_value=100))
+@settings(max_examples=30)
+def test_even_sampling_across_bins(seed):
+    gen = np.random.default_rng(seed)
+    scores = gen.random(2000)  # all bins well populated
+    chosen = decile_sample(scores, 10, gen)
+    bins = (scores[chosen] * 10).astype(int)
+    counts = np.bincount(np.minimum(bins, 9), minlength=10)
+    assert (counts == 10).all()

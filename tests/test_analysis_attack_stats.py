@@ -1,0 +1,94 @@
+"""Tests for attack-type tables (Tables 5/11) on coded tiny-study data."""
+
+import pytest
+
+from repro import paper
+from repro.analysis.attack_stats import (
+    attack_type_table,
+    reporting_subtype_tests,
+    subtype_table,
+)
+from repro.taxonomy.attack_types import AttackSubtype, AttackType
+from repro.types import Platform
+
+
+@pytest.fixture(scope="module")
+def coded(tiny_study):
+    return tiny_study.coded_cth_by_platform
+
+
+def test_sizes_match_annotated_sets(tiny_study, coded):
+    from repro.types import Task
+
+    total = sum(len(docs) for docs in coded.values())
+    assert total == tiny_study.results[Task.CTH].n_true_positive_total
+
+
+def test_reporting_dominates_every_platform(coded):
+    """Paper headline: >50% of calls are reporting attacks, the largest
+    share on every platform."""
+    table = attack_type_table(coded)
+    for platform in (Platform.BOARDS, Platform.CHAT, Platform.GAB):
+        if table.sizes.get(platform, 0) < 30:
+            continue
+        reporting = table.share(AttackType.REPORTING, platform)
+        for other in AttackType:
+            if other is not AttackType.REPORTING:
+                assert reporting >= table.share(other, platform), (platform, other)
+
+
+def test_overloading_higher_on_chat_and_gab_than_boards(coded):
+    """Paper §6.2: boards have less raiding/overloading than chat and Gab."""
+    table = attack_type_table(coded)
+    boards = table.share(AttackType.OVERLOADING, Platform.BOARDS)
+    assert table.share(AttackType.OVERLOADING, Platform.CHAT) > boards
+    assert table.share(AttackType.OVERLOADING, Platform.GAB) > boards
+
+
+def test_content_leakage_is_second(coded):
+    table = attack_type_table(coded)
+    for platform in (Platform.BOARDS, Platform.CHAT):
+        shares = {a: table.share(a, platform) for a in AttackType}
+        top_two = sorted(shares, key=shares.get, reverse=True)[:2]
+        assert AttackType.CONTENT_LEAKAGE in top_two
+
+
+def test_shares_within_tolerance_of_paper(coded):
+    """Every Table-5 cell with decent support lands within 12 points of
+    the paper's share."""
+    table = attack_type_table(coded)
+    for attack, per_platform in paper.TABLE5_ATTACK_TYPES.items():
+        for platform, (paper_share, _count) in per_platform.items():
+            if table.sizes.get(platform, 0) < 100:
+                continue
+            measured = table.share(attack, platform)
+            assert abs(measured - paper_share) < 0.12, (attack, platform, measured)
+
+
+def test_subtype_table_counts_do_not_exceed_sizes(coded):
+    table = subtype_table(coded)
+    for subtype in AttackSubtype:
+        for platform, count in table.counts[subtype].items():
+            assert count <= table.sizes[platform]
+
+
+def test_mass_flagging_most_common_reporting_subtype_on_chat(coded):
+    table = subtype_table(coded)
+    chat_mass = table.share(AttackSubtype.MASS_FLAGGING, Platform.CHAT)
+    chat_false = table.share(AttackSubtype.FALSE_REPORTING_TO_AUTHORITIES, Platform.CHAT)
+    assert chat_mass > chat_false  # paper: 31.6% vs 10.8% on chat
+
+
+def test_reporting_subtype_tests_run(coded):
+    table = subtype_table(coded)
+    results = reporting_subtype_tests(table)
+    assert len(results) >= 2
+    for result in results:
+        assert 0.0 <= result.p_value <= 1.0
+    # Significance itself needs the full-scale sample (bench_table11); at
+    # tiny scale we only require the tests to be well-formed.
+
+
+def test_share_zero_for_empty_platform():
+    table = attack_type_table({Platform.BOARDS: []})
+    assert table.share(AttackType.REPORTING, Platform.BOARDS) == 0.0

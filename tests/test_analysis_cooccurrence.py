@@ -1,0 +1,84 @@
+"""Tests for attack co-occurrence and CTH/dox thread overlap (§6.2-§6.3)."""
+
+import pytest
+
+from repro.analysis.cooccurrence import (
+    attack_cooccurrence,
+    detected_by_both,
+    thread_overlap,
+)
+from repro.taxonomy.attack_types import AttackType
+from repro.types import Source, Task
+
+
+@pytest.fixture(scope="module")
+def cooc(tiny_study):
+    return attack_cooccurrence(tiny_study.coded_cth)
+
+
+def test_histogram_partitions(cooc, tiny_study):
+    assert sum(cooc.type_count_histogram.values()) == len(tiny_study.coded_cth)
+
+
+def test_multi_type_share_in_paper_band(cooc):
+    # Paper §6.2: 13% of calls contain more than one attack type.
+    assert 0.04 < cooc.multi_type_share < 0.30
+
+
+def test_two_types_dominate_multi(cooc):
+    multi = {n: c for n, c in cooc.type_count_histogram.items() if n > 1}
+    if not multi:
+        pytest.skip("no multi-type calls at this scale")
+    assert max(multi, key=multi.get) == 2  # paper: 92.3% of multi are pairs
+
+
+def test_surveillance_cooccurs_with_leakage(cooc):
+    if cooc.parent_totals.get(AttackType.SURVEILLANCE, 0) < 5:
+        pytest.skip("too few surveillance calls at tiny scale")
+    rate = cooc.conditional(AttackType.SURVEILLANCE, AttackType.CONTENT_LEAKAGE)
+    assert rate > 0.3  # paper: 64%
+
+
+def test_conditional_bounds(cooc):
+    for a in AttackType:
+        for b in AttackType:
+            if a is b:
+                continue
+            assert 0.0 <= cooc.conditional(a, b) <= 1.0
+
+
+def test_thread_overlap_shape(tiny_study):
+    corpus = tiny_study.corpus
+    cth_above = tiny_study.results[Task.CTH].above_threshold_documents(Source.BOARDS)
+    dox_above = tiny_study.results[Task.DOX].above_threshold_documents(Source.BOARDS)
+    overlap = thread_overlap(corpus, cth_above, dox_above)
+    assert overlap.n_cth == len(cth_above)
+    assert 0 <= overlap.cth_with_dox_share <= 1
+    # Paper §6.3: co-occurrence far above the random-thread base rates.
+    assert overlap.cth_with_dox_share > overlap.random_thread_dox_share
+    assert overlap.dox_thread_with_cth_share > overlap.random_thread_cth_share
+
+
+def test_overlap_lift_over_random(tiny_study):
+    """At tiny scale positives are dense, so absolute overlap shares are
+    inflated; the invariant that survives scaling is the *lift* over the
+    random-thread base rate (the full-scale band is checked in the bench).
+    """
+    corpus = tiny_study.corpus
+    cth_above = tiny_study.results[Task.CTH].above_threshold_documents(Source.BOARDS)
+    dox_above = tiny_study.results[Task.DOX].above_threshold_documents(Source.BOARDS)
+    overlap = thread_overlap(corpus, cth_above, dox_above)
+    assert overlap.cth_with_dox_share > overlap.random_thread_dox_share * 1.2
+
+
+def test_detected_by_both(tiny_study):
+    docs = tiny_study.vectorized.documents
+    assert detected_by_both(docs) > 0
+
+
+def test_empty_overlap():
+    from repro.corpus.documents import Corpus
+
+    overlap = thread_overlap(Corpus([]), [], [])
+    assert overlap.cth_with_dox_share == 0.0
+    assert overlap.dox_thread_with_cth_share == 0.0

@@ -1,0 +1,128 @@
+"""Tests for gender tables (Table 10) and thread analyses (§6.3/§7.4)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.gender_stats import gender_subtype_table, private_reputation_gender_test
+from repro.analysis.threads import (
+    baseline_board_posts,
+    empirical_cdf,
+    response_size_tests,
+    response_sizes,
+    thread_position_stats,
+)
+from repro.taxonomy.attack_types import AttackType
+from repro.types import Gender, Platform, Task
+
+
+@pytest.fixture(scope="module")
+def coded(tiny_study):
+    return tiny_study.coded_cth
+
+
+@pytest.fixture(scope="module")
+def board_cth(tiny_study):
+    from repro.types import Source
+
+    return tiny_study.results[Task.CTH].true_positive_documents(Source.BOARDS)
+
+
+def test_gender_table_sizes_partition(coded):
+    table = gender_subtype_table(coded)
+    assert sum(table.sizes.values()) == len(coded)
+    assert table.sizes[Gender.UNKNOWN] > 0
+    assert table.sizes[Gender.MALE] > table.sizes[Gender.FEMALE]  # paper ordering
+
+
+def test_private_reputation_skews_female(coded):
+    """Paper §6.2: private reputational harm is ~2.5x more frequent for
+    female-pronoun targets (7.5% vs 2.98%)."""
+    table = gender_subtype_table(coded)
+    from repro.taxonomy.attack_types import AttackSubtype
+
+    female = table.share(AttackSubtype.REPUTATIONAL_HARM_PRIVATE, Gender.FEMALE)
+    male = table.share(AttackSubtype.REPUTATIONAL_HARM_PRIVATE, Gender.MALE)
+    assert female > male
+
+
+def test_private_reputation_test_runs(coded):
+    result = private_reputation_gender_test(gender_subtype_table(coded))
+    assert 0 <= result.p_value <= 1
+
+
+def test_position_stats(tiny_study, board_cth):
+    stats = thread_position_stats(tiny_study.corpus, board_cth)
+    assert stats.n_posts > 50
+    # Paper §6.3: CTHs rarely open or close a thread.
+    assert stats.first_post_share < 0.12
+    assert stats.last_post_share < 0.12
+    assert stats.position_mean > stats.position_median  # right-skewed
+
+
+def test_position_stats_empty_raises(tiny_study):
+    with pytest.raises(ValueError):
+        thread_position_stats(tiny_study.corpus, [])
+
+
+def test_response_sizes_non_negative(tiny_study, board_cth):
+    sizes = response_sizes(tiny_study.corpus, board_cth)
+    assert (sizes >= 0).all()
+    assert sizes.size == len([d for d in board_cth if d.thread_id is not None])
+
+
+def test_baseline_excludes_positives(tiny_study):
+    baseline = baseline_board_posts(tiny_study.corpus, 500, seed=1)
+    assert len(baseline) == 500
+    assert not any(d.truth.is_cth or d.truth.is_dox for d in baseline)
+    assert all(d.platform is Platform.BOARDS for d in baseline)
+
+
+def test_response_size_tests_run(tiny_study):
+    coded_by_type = {}
+    for coded_doc in tiny_study.coded_cth:
+        if coded_doc.document.platform is not Platform.BOARDS:
+            continue
+        for parent in coded_doc.parents:
+            coded_by_type.setdefault(parent, []).append(coded_doc)
+    baseline = baseline_board_posts(tiny_study.corpus, 400, seed=2)
+    results = response_size_tests(tiny_study.corpus, coded_by_type, baseline)
+    assert results
+    names = {r.name for r in results}
+    assert AttackType.REPORTING.value in names
+
+
+def test_toxic_content_prefers_large_threads(tiny_study):
+    """The generator plants toxic-content CTH in larger threads; the
+    measured mean response count should exceed the baseline's."""
+    toxic = [
+        c.document for c in tiny_study.coded_cth
+        if c.document.platform is Platform.BOARDS
+        and AttackType.TOXIC_CONTENT in c.parents
+    ]
+    if len(toxic) < 5:
+        pytest.skip("too few toxic-content examples at tiny scale")
+    baseline = baseline_board_posts(tiny_study.corpus, 500, seed=3)
+    toxic_mean = np.log(response_sizes(tiny_study.corpus, toxic) + 1).mean()
+    base_mean = np.log(response_sizes(tiny_study.corpus, baseline) + 1).mean()
+    assert toxic_mean > base_mean
+
+
+def test_empirical_cdf():
+    xs, ps = empirical_cdf([3.0, 1.0, 2.0])
+    np.testing.assert_array_equal(xs, [1.0, 2.0, 3.0])
+    np.testing.assert_allclose(ps, [1 / 3, 2 / 3, 1.0])
+    with pytest.raises(ValueError):
+        empirical_cdf([])
+
+
+def test_dox_thread_positions(tiny_study):
+    from repro.types import Source
+
+    board_doxes = tiny_study.results[Task.DOX].true_positive_documents(Source.BOARDS)
+    stats = thread_position_stats(tiny_study.corpus, board_doxes)
+    # Paper §7.4: doxes open threads more often than CTHs (9.7% vs 3.7%).
+    cth_stats = thread_position_stats(
+        tiny_study.corpus,
+        tiny_study.results[Task.CTH].true_positive_documents(Source.BOARDS),
+    )
+    assert stats.first_post_share > cth_stats.first_post_share

@@ -1,0 +1,121 @@
+"""Tests for PII prevalence (Table 6), co-occurrence (§7.1), and harm
+risks (Table 7 / Figure 2)."""
+
+import pytest
+
+from repro import paper
+from repro.analysis.harm_risk_stats import (
+    detect_reputation_info,
+    harm_risk_overlap,
+    harm_risks_for_document,
+    no_risk_share_for_source,
+    reputation_alone_share,
+)
+from repro.analysis.pii_stats import pii_cooccurrence, pii_prevalence_table
+from repro.taxonomy.harm_risk import HarmRisk
+from repro.types import Platform, Source
+
+
+@pytest.fixture(scope="module")
+def doxes_by_platform(tiny_study):
+    return tiny_study.annotated_doxes_by_platform
+
+
+@pytest.fixture(scope="module")
+def all_doxes(tiny_study):
+    return tiny_study.annotated_doxes
+
+
+def test_pii_table_counts_bounded(doxes_by_platform):
+    table = pii_prevalence_table(doxes_by_platform)
+    for category, per_platform in table.counts.items():
+        for platform, count in per_platform.items():
+            assert count <= table.sizes[platform]
+
+
+def test_pastes_doxes_richest(doxes_by_platform):
+    """Paper §7.1: paste doxes contain more PII types than board doxes."""
+    table = pii_prevalence_table(doxes_by_platform)
+    for category in ("address", "email", "phone", "facebook"):
+        assert table.share(category, Platform.PASTES) > table.share(category, Platform.BOARDS)
+
+
+def test_pii_shares_near_paper(doxes_by_platform):
+    table = pii_prevalence_table(doxes_by_platform)
+    for category, per_platform in paper.TABLE6_PII.items():
+        for platform, (paper_share, _count) in per_platform.items():
+            if table.sizes.get(platform, 0) < 100:
+                continue
+            measured = table.share(category, platform)
+            assert abs(measured - paper_share) < 0.15, (category, platform, measured)
+
+
+def test_core_pii_cooccurrence_high(all_doxes):
+    """Paper §7.1: addresses, phones, and emails co-occur with all other
+    PII more than 35% of the time."""
+    cooc = pii_cooccurrence(all_doxes)
+    for core in ("address", "phone", "email"):
+        if cooc.totals.get(core, 0) < 50:
+            continue
+        assert cooc.min_conditional(core) > 0.25, core
+
+
+def test_cooccurrence_conditional_bounds(all_doxes):
+    cooc = pii_cooccurrence(all_doxes)
+    for a in cooc.totals:
+        for b in cooc.totals:
+            if a != b:
+                assert 0.0 <= cooc.conditional(a, b) <= 1.0
+
+
+def test_reputation_detector():
+    assert detect_reputation_info("Works at: Acme Corp")
+    assert detect_reputation_info("family: Jane Doe")
+    assert not detect_reputation_info("he works hard every day")
+
+
+def test_harm_risks_for_document(all_doxes):
+    risky = [d for d in all_doxes if harm_risks_for_document(d)]
+    assert len(risky) > len(all_doxes) * 0.5
+
+
+def test_overlap_totals_consistent(all_doxes):
+    overlap = harm_risk_overlap(all_doxes)
+    assert overlap.n_documents == len(all_doxes)
+    assert sum(overlap.combinations.values()) == len(all_doxes)
+    for risk in HarmRisk:
+        combo_sum = sum(
+            count for combo, count in overlap.combinations.items() if risk in combo
+        )
+        assert combo_sum == overlap.totals[risk]
+
+
+def test_all_four_combination_present(all_doxes):
+    overlap = harm_risk_overlap(all_doxes)
+    # Paper Fig. 2: 11.5% of doxes carry all four risks.
+    assert overlap.all_four_count > 0
+    assert 0.02 < overlap.all_four_share < 0.35
+
+
+def test_all_four_mostly_pastes(all_doxes):
+    overlap = harm_risk_overlap(all_doxes)
+    # Paper: 73% of all-four doxes come from the pastes data set.
+    assert overlap.all_four_pastes_share > 0.4
+
+
+def test_discord_often_riskless(tiny_study, all_doxes):
+    share = no_risk_share_for_source(all_doxes, Source.DISCORD)
+    # Paper §7.2: more than 50% of Discord doxes had no risk indicator.
+    assert share > 0.3
+
+
+def test_reputation_alone_on_chat(all_doxes):
+    share = reputation_alone_share(all_doxes, Platform.CHAT)
+    # Paper §7.2: 23% of chat doxes carry only reputation risk.
+    assert 0.0 <= share < 0.5
+
+
+def test_online_risk_largest_total(all_doxes):
+    overlap = harm_risk_overlap(all_doxes)
+    # Paper Fig. 2 ordering: online (3,959) is the largest risk total.
+    assert overlap.totals[HarmRisk.ONLINE] >= overlap.totals[HarmRisk.ECONOMIC]

@@ -1,0 +1,89 @@
+"""Tests for repeated-dox linking (§7.3) and the blog methodology (§8)."""
+
+import pytest
+
+from repro.analysis.blogs import BLOG_KEYWORDS, blog_analysis, is_relevant, looks_english
+from repro.analysis.repeated import repeated_dox_analysis
+from repro.types import Platform, Task
+
+
+@pytest.fixture(scope="module")
+def repeated(tiny_study):
+    docs = tiny_study.above_threshold(Task.DOX)
+    return repeated_dox_analysis(list(docs))
+
+
+def test_repeated_share_in_band(repeated):
+    # Paper §7.3: 20.1% of above-threshold doxes are repeats.
+    assert 0.05 < repeated.repeated_share < 0.45
+
+
+def test_repeats_mostly_same_platform(repeated):
+    # Paper: 98% of repeats stay within one data set.
+    assert repeated.same_platform_share > 0.8
+
+
+def test_repeats_concentrated_on_pastes(repeated):
+    # Paper: 89.64% of repeated doxes were posted to paste sites.
+    by_platform = repeated.repeated_by_platform
+    assert by_platform.get(Platform.PASTES, 0) == max(by_platform.values())
+
+
+def test_cross_posted_minority(repeated):
+    assert repeated.cross_posted_count < repeated.repeated_count * 0.2
+
+
+def test_no_repeats_in_empty_input():
+    stats = repeated_dox_analysis([])
+    assert stats.repeated_count == 0
+    assert stats.repeated_share == 0.0
+
+
+def test_blog_keywords_match_paper():
+    assert BLOG_KEYWORDS == ("phone", "email", "dox", "dob:")
+
+
+def test_is_relevant():
+    assert is_relevant("contact email: someone@example.test")
+    assert is_relevant("dob: 1990-01-01")
+    assert not is_relevant("a long essay about the weather")
+
+
+def test_looks_english():
+    assert looks_english("this is the kind of text that the filter accepts")
+    assert not looks_english("la situazione politica attuale richiede attenzione")
+
+
+def test_blog_analysis_covers_three_blogs(tiny_corpus):
+    outcomes = blog_analysis(list(tiny_corpus))
+    assert set(outcomes) == {"daily_stormer", "noblogs", "the_torch"}
+
+
+def test_torch_highest_dox_density(tiny_corpus):
+    """Paper Table 8: the Torch has by far the highest actual-dox share of
+    relevant posts (60.5% vs 9.8% vs 2.9%)."""
+    outcomes = blog_analysis(list(tiny_corpus))
+    torch = outcomes["the_torch"]
+    stormer = outcomes["daily_stormer"]
+    assert torch.actual_share > stormer.actual_share
+
+
+def test_keyword_query_misses_some_doxes(tiny_corpus):
+    """Paper §8.1: the keyword query missed 10 of 33 Torch doxes."""
+    outcomes = blog_analysis(list(tiny_corpus))
+    assert outcomes["the_torch"].n_keyword_missed > 0
+
+
+def test_stormer_overload_cooccurrence(tiny_corpus):
+    """Paper §8.3: 60% of Daily Stormer doxes include a call to overload."""
+    outcomes = blog_analysis(list(tiny_corpus))
+    stormer = outcomes["daily_stormer"]
+    if stormer.n_actual_doxes < 5:
+        pytest.skip("too few stormer doxes at this scale")
+    assert stormer.overload_share > 0.3
+
+
+def test_noblogs_has_foreign_entries(tiny_corpus):
+    outcomes = blog_analysis(list(tiny_corpus))
+    noblogs = outcomes["noblogs"]
+    assert noblogs.n_relevant_foreign >= noblogs.n_relevant

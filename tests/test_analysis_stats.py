@@ -1,0 +1,99 @@
+"""Unit tests for the statistical test helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    TestResult,
+    benjamini_hochberg,
+    chi_square_two_way,
+    chi_square_uniform,
+    two_sample_log_t,
+)
+
+
+def test_chi_square_uniform_flat():
+    result = chi_square_uniform([100, 100, 100])
+    assert result.p_value > 0.9
+
+
+def test_chi_square_uniform_skewed():
+    result = chi_square_uniform([500, 10, 10])
+    assert result.p_value < 0.001
+
+
+def test_chi_square_validation():
+    with pytest.raises(ValueError):
+        chi_square_uniform([5])
+    with pytest.raises(ValueError):
+        chi_square_uniform([0, 0])
+
+
+def test_chi_square_two_way_independent():
+    result = chi_square_two_way([[50, 50], [50, 50]])
+    assert result.p_value > 0.9
+
+
+def test_chi_square_two_way_dependent():
+    result = chi_square_two_way([[90, 10], [10, 90]])
+    assert result.p_value < 1e-6
+
+
+def test_two_sample_log_t_detects_shift():
+    rng = np.random.default_rng(0)
+    big = np.exp(rng.normal(3.0, 1.0, 200))
+    small = np.exp(rng.normal(2.0, 1.0, 200))
+    result = two_sample_log_t(big, small)
+    assert result.statistic > 0
+    assert result.p_value < 1e-6
+
+
+def test_two_sample_log_t_null():
+    rng = np.random.default_rng(1)
+    a = np.exp(rng.normal(2.0, 1.0, 300))
+    b = np.exp(rng.normal(2.0, 1.0, 300))
+    assert two_sample_log_t(a, b).p_value > 0.01
+
+
+def test_two_sample_log_t_validation():
+    with pytest.raises(ValueError):
+        two_sample_log_t([1.0], [1.0, 2.0])
+
+
+def test_bh_flags_low_p():
+    results = [
+        TestResult("a", 1.0, 0.001),
+        TestResult("b", 1.0, 0.5),
+        TestResult("c", 1.0, 0.9),
+    ]
+    corrected = benjamini_hochberg(results, error_rate=0.1)
+    assert corrected[0].significant
+    assert not corrected[1].significant
+    assert not corrected[2].significant
+
+
+def test_bh_all_null():
+    results = [TestResult(str(i), 1.0, 0.8) for i in range(5)]
+    assert not any(r.significant for r in benjamini_hochberg(results))
+
+
+def test_bh_step_up_property():
+    # Classic BH: once a rank passes, all smaller p-values pass too.
+    ps = [0.01, 0.02, 0.03, 0.5, 0.9]
+    results = [TestResult(str(i), 1.0, p) for i, p in enumerate(ps)]
+    corrected = benjamini_hochberg(results, error_rate=0.1)
+    flags = [r.significant for r in corrected]
+    assert flags == [True, True, True, False, False]
+
+
+def test_bh_preserves_order():
+    ps = [0.9, 0.001]
+    corrected = benjamini_hochberg([TestResult(str(i), 1.0, p) for i, p in enumerate(ps)])
+    assert corrected[0].name == "0" and corrected[1].name == "1"
+    assert corrected[1].significant and not corrected[0].significant
+
+
+def test_bh_empty_and_validation():
+    assert benjamini_hochberg([]) == []
+    with pytest.raises(ValueError):
+        benjamini_hochberg([TestResult("a", 1.0, 0.5)], error_rate=1.5)

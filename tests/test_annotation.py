@@ -1,0 +1,137 @@
+"""Unit tests for annotators, the crowdsourcing protocol, and agreement."""
+
+import numpy as np
+import pytest
+
+from repro.annotation.agreement import agreement_summary, expert_pair_agreement
+from repro.annotation.annotator import (
+    CROWD_PROFILES,
+    EXPERT_PROFILE,
+    AnnotatorProfile,
+    SimulatedAnnotator,
+)
+from repro.annotation.crowdsource import CrowdsourcingService
+from repro.types import Task
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        AnnotatorProfile(sensitivity=0.4, specificity=0.9)
+    with pytest.raises(ValueError):
+        AnnotatorProfile(sensitivity=0.9, specificity=1.2)
+
+
+def test_annotator_deterministic():
+    a = SimulatedAnnotator(1, EXPERT_PROFILE, seed=9)
+    b = SimulatedAnnotator(1, EXPERT_PROFILE, seed=9)
+    truths = np.array([True, False] * 50)
+    np.testing.assert_array_equal(a.annotate_many(truths), b.annotate_many(truths))
+
+
+def test_annotator_accuracy_tracks_profile():
+    profile = AnnotatorProfile(sensitivity=0.9, specificity=0.95, spread=0.0)
+    annotator = SimulatedAnnotator(0, profile, seed=1)
+    pos = np.ones(4000, dtype=bool)
+    neg = np.zeros(4000, dtype=bool)
+    assert abs(annotator.annotate_many(pos).mean() - 0.9) < 0.03
+    assert abs((~annotator.annotate_many(neg)).mean() - 0.95) < 0.03
+
+
+def test_expert_more_accurate_than_crowd():
+    for task in Task:
+        crowd = CROWD_PROFILES[task]
+        assert EXPERT_PROFILE.sensitivity > crowd.sensitivity
+        assert EXPERT_PROFILE.specificity >= crowd.specificity
+
+
+def test_cth_harder_than_dox():
+    assert CROWD_PROFILES[Task.CTH].sensitivity < CROWD_PROFILES[Task.DOX].sensitivity
+
+
+def test_score_on_gold_bounds():
+    annotator = SimulatedAnnotator(0, EXPERT_PROFILE, seed=2)
+    for _ in range(10):
+        assert 0.0 <= annotator.score_on_gold(10) <= 1.0
+
+
+def test_score_on_gold_validation():
+    annotator = SimulatedAnnotator(0, EXPERT_PROFILE, seed=2)
+    with pytest.raises(ValueError):
+        annotator.score_on_gold(0)
+
+
+def test_crowdsource_batch_shapes(rng):
+    service = CrowdsourcingService(CROWD_PROFILES[Task.DOX], seed=5)
+    truths = rng.random(200) < 0.3
+    result = service.annotate_batch(truths)
+    assert result.labels.shape == truths.shape
+    assert result.first.shape == truths.shape
+    assert 0 <= result.disagreement_rate <= 1
+
+
+def test_crowdsource_tiebreaks_counted(rng):
+    service = CrowdsourcingService(CROWD_PROFILES[Task.CTH], seed=5)
+    truths = rng.random(300) < 0.5
+    result = service.annotate_batch(truths)
+    disagreements = int(np.sum(result.first != result.second))
+    assert result.n_tiebreaks == disagreements
+
+
+def test_tiebroken_labels_consistent(rng):
+    service = CrowdsourcingService(CROWD_PROFILES[Task.DOX], seed=6)
+    truths = rng.random(300) < 0.5
+    result = service.annotate_batch(truths)
+    agree = result.first == result.second
+    np.testing.assert_array_equal(result.labels[agree], result.first[agree])
+
+
+def test_tiebreak_improves_over_single_annotator(rng):
+    service = CrowdsourcingService(CROWD_PROFILES[Task.CTH], seed=7)
+    truths = rng.random(2000) < 0.5
+    result = service.annotate_batch(truths)
+    final_acc = np.mean(result.labels == truths)
+    single_acc = np.mean(result.first == truths)
+    assert final_acc >= single_acc - 0.02  # protocol should not hurt
+
+
+def test_qualification_filters_bad_annotators():
+    # A poor profile forces many qualification failures.
+    poor = AnnotatorProfile(sensitivity=0.6, specificity=0.6, spread=0.02)
+    service = CrowdsourcingService(poor, seed=8)
+    service.annotate_batch(np.array([True, False] * 30))
+    assert service._qualification_failures > 0
+
+
+def test_crowd_kappa_matches_paper_band(rng):
+    """Simulated CTH crowd kappa lands near the paper's 0.350."""
+    service = CrowdsourcingService(CROWD_PROFILES[Task.CTH], seed=9)
+    truths = rng.random(3000) < 0.25
+    result = service.annotate_batch(truths)
+    assert 0.2 < result.kappa < 0.55
+
+
+def test_dox_crowd_kappa_higher_than_cth(rng):
+    truths = rng.random(3000) < 0.25
+    dox = CrowdsourcingService(CROWD_PROFILES[Task.DOX], seed=10).annotate_batch(truths)
+    cth = CrowdsourcingService(CROWD_PROFILES[Task.CTH], seed=10).annotate_batch(truths)
+    assert dox.kappa > cth.kappa
+
+
+def test_agreement_summary():
+    summary = agreement_summary([1, 1, 0, 0], [1, 0, 0, 0])
+    assert summary.disagreement_rate == 0.25
+    assert summary.n_documents == 4
+
+
+def test_agreement_shape_mismatch():
+    with pytest.raises(ValueError):
+        agreement_summary([1, 0], [1])
+
+
+def test_expert_pair_agreement_strong(rng):
+    """Simulated expert kappa lands near the paper's 0.845-0.893."""
+    truths = rng.random(2000) < 0.5
+    a = SimulatedAnnotator(0, EXPERT_PROFILE, seed=11)
+    b = SimulatedAnnotator(1, EXPERT_PROFILE, seed=12)
+    summary = expert_pair_agreement(truths, a, b)
+    assert summary.kappa > 0.8

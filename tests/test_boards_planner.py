@@ -1,0 +1,96 @@
+"""Unit tests for the board thread planner."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.documents import GroundTruth
+from repro.corpus.platforms.boards import BoardsPlanner, board_domains
+
+
+@pytest.fixture()
+def planner(rng):
+    return BoardsPlanner(rng, total_posts=2000, n_domains=5, time_range=(0.0, 1e6))
+
+
+def test_total_posts_exact(planner):
+    assert planner.total_posts == 2000
+
+
+def test_board_domains_unique():
+    domains = board_domains(43)
+    assert len(set(domains)) == 43
+    assert all(d.endswith(".example") for d in domains)
+
+
+def test_choose_slot_reserves(planner):
+    slot = planner.choose_slot(0.0, 0.0)
+    thread = planner.threads[slot.thread_index]
+    assert slot.position in thread.planted
+
+
+def test_forced_first_position(planner):
+    slot = planner.choose_slot(1.0, 0.0)
+    assert slot.position == 0
+
+
+def test_forced_last_position(planner):
+    slot = planner.choose_slot(0.0, 1.0)
+    assert slot.position == planner.threads[slot.thread_index].size - 1
+
+
+def test_forced_thread_index(planner):
+    big = max(range(len(planner.threads)), key=lambda i: planner.threads[i].size)
+    if planner.threads[big].size < 3:
+        pytest.skip("no large thread in this draw")
+    slot = planner.choose_slot(0.0, 0.0, thread_index=big)
+    assert slot.thread_index == big
+
+
+def test_fill_and_materialize(planner):
+    slot = planner.choose_slot(0.0, 0.0)
+    planner.fill_slot(slot, "PLANTED TEXT", GroundTruth(is_cth=True))
+    doc_counter = iter(range(10**6))
+    thread_counter = iter(range(10**6))
+    docs = planner.materialize(
+        render_benign=lambda: "benign",
+        next_doc_id=lambda: next(doc_counter),
+        next_thread_id=lambda: next(thread_counter),
+    )
+    assert len(docs) == 2000
+    planted = [d for d in docs if d.text == "PLANTED TEXT"]
+    assert len(planted) == 1
+    assert planted[0].truth.is_cth
+
+
+def test_materialize_positions_sequential(planner):
+    doc_counter = iter(range(10**6))
+    thread_counter = iter(range(10**6))
+    docs = planner.materialize(
+        render_benign=lambda: "b",
+        next_doc_id=lambda: next(doc_counter),
+        next_thread_id=lambda: next(thread_counter),
+    )
+    by_thread = {}
+    for d in docs:
+        by_thread.setdefault(d.thread_id, []).append(d)
+    for posts in by_thread.values():
+        assert [p.position for p in posts] == list(range(len(posts)))
+        # Timestamps increase with position.
+        stamps = [p.timestamp for p in posts]
+        assert stamps == sorted(stamps)
+
+
+def test_size_biased_selection_prefers_large_threads(rng):
+    planner = BoardsPlanner(rng, total_posts=5000, n_domains=3, time_range=(0.0, 1.0))
+    sizes = np.array([t.size for t in planner.threads])
+    mean_size = sizes.mean()
+    chosen_sizes = [
+        planner.threads[planner.choose_slot(0.0, 0.0).thread_index].size
+        for _ in range(300)
+    ]
+    assert np.mean(chosen_sizes) > mean_size
+
+
+def test_zero_posts_rejected(rng):
+    with pytest.raises(ValueError):
+        BoardsPlanner(rng, total_posts=0, n_domains=3, time_range=(0.0, 1.0))

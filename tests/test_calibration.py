@@ -1,0 +1,77 @@
+"""Unit and property tests for calibration diagnostics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp.calibration import reliability_curve, render_reliability
+
+
+def test_perfectly_calibrated():
+    rng = np.random.default_rng(0)
+    scores = rng.random(20_000)
+    labels = rng.random(20_000) < scores
+    curve = reliability_curve(labels, scores)
+    assert curve.expected_calibration_error < 0.02
+
+
+def test_overconfident_detected():
+    rng = np.random.default_rng(1)
+    # Model says 0.95 but is right only 60% of the time.
+    scores = np.full(2_000, 0.95)
+    labels = rng.random(2_000) < 0.6
+    curve = reliability_curve(labels, scores)
+    assert curve.expected_calibration_error > 0.25
+    assert curve.max_calibration_error > 0.25
+
+
+def test_empty_bins_are_nan():
+    curve = reliability_curve([True, False], [0.95, 0.97])
+    assert curve.bin_counts[0] == 0
+    assert np.isnan(curve.bin_confidence[0])
+    assert curve.bin_counts[9] == 2
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        reliability_curve([], [])
+    with pytest.raises(ValueError):
+        reliability_curve([True], [1.5])
+    with pytest.raises(ValueError):
+        reliability_curve([True, False], [0.5])
+    with pytest.raises(ValueError):
+        reliability_curve([True], [0.5], n_bins=1)
+
+
+def test_render_contains_ece():
+    curve = reliability_curve([True, False, True], [0.9, 0.1, 0.8])
+    out = render_reliability(curve)
+    assert "ECE" in out and "MCE" in out
+
+
+def test_pipeline_scores_reasonably_calibrated(tiny_study):
+    """The filter model's scores should be informative enough for decile
+    sampling: monotone-ish accuracy across bins."""
+    from repro.types import Task
+
+    result = tiny_study.results[Task.CTH]
+    labels = np.array([d.truth_for(Task.CTH) for d in result.documents])
+    curve = reliability_curve(labels, result.scores, n_bins=5)
+    occupied = curve.bin_counts > 20
+    accs = curve.bin_accuracy[occupied]
+    assert accs[-1] > accs[0]  # top bin much purer than bottom
+
+
+@given(
+    n=st.integers(min_value=5, max_value=500),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=40)
+def test_counts_partition(n, seed):
+    rng = np.random.default_rng(seed)
+    scores = rng.random(n)
+    labels = rng.random(n) < 0.5
+    curve = reliability_curve(labels, scores)
+    assert int(curve.bin_counts.sum()) == n
+    assert 0.0 <= curve.expected_calibration_error <= 1.0

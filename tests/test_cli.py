@@ -1,0 +1,94 @@
+"""Tests for the command-line interface (via main(argv))."""
+
+import pytest
+
+from repro.cli import main
+from repro.corpus.io import iter_jsonl
+
+
+@pytest.fixture(scope="module")
+def corpus_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "corpus.jsonl"
+    assert main(["generate", "--tiny", "--seed", "3", "--out", str(path)]) == 0
+    return path
+
+
+def test_generate_writes_jsonl(corpus_path):
+    docs = list(iter_jsonl(corpus_path))
+    assert len(docs) > 1000
+    assert any(d.truth.is_dox for d in docs)
+
+
+def test_train_and_score(corpus_path, tmp_path, capsys):
+    model_path = tmp_path / "dox.npz"
+    assert main([
+        "train", "--corpus", str(corpus_path), "--task", "dox",
+        "--out", str(model_path), "--epochs", "3",
+    ]) == 0
+    capsys.readouterr()
+    assert main([
+        "score", "--model", str(model_path),
+        "--text", "Name: Jane Ashgrove | Address: 12 Maple St, Fairhaven, NY 10001 | Phone: (212) 555-0188",
+    ]) == 0
+    out = capsys.readouterr().out
+    score = float(out.split("\t")[0])
+    assert score > 0.5
+
+
+def test_score_benign_low(corpus_path, tmp_path, capsys):
+    model_path = tmp_path / "cth.npz"
+    main(["train", "--corpus", str(corpus_path), "--task", "cth",
+          "--out", str(model_path), "--epochs", "3"])
+    capsys.readouterr()
+    main(["score", "--model", str(model_path), "--text", "lovely weather this week"])
+    score = float(capsys.readouterr().out.split("\t")[0])
+    assert score < 0.5
+
+
+def test_score_from_file(corpus_path, tmp_path, capsys):
+    model_path = tmp_path / "m.npz"
+    main(["train", "--corpus", str(corpus_path), "--task", "cth",
+          "--out", str(model_path), "--epochs", "2"])
+    posts = tmp_path / "posts.txt"
+    posts.write_text("first post\nsecond post\n")
+    capsys.readouterr()
+    assert main(["score", "--model", str(model_path), "--file", str(posts)]) == 0
+    out = capsys.readouterr().out
+    assert len(out.strip().splitlines()) == 2
+
+
+def test_assess(capsys):
+    assert main([
+        "assess", "--text",
+        "we should mass report her account until the platform bans her",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Mass Flagging" in out
+    assert "matches mobilising keyword query: True" in out
+
+
+def test_assess_with_pii(capsys):
+    main(["assess", "--text", "dox: jane@mailhaven.example lives at 12 Maple St, Fairhaven, NY 10001"])
+    out = capsys.readouterr().out
+    assert "email" in out and "address" in out
+    assert "physical" in out and "online" in out
+
+
+def test_train_empty_corpus_fails(tmp_path, capsys):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    code = main(["train", "--corpus", str(empty), "--task", "dox", "--out", str(tmp_path / "m.npz")])
+    assert code == 2
+
+
+def test_unknown_task_rejected(corpus_path, tmp_path):
+    with pytest.raises(SystemExit):
+        main(["train", "--corpus", str(corpus_path), "--task", "nonsense",
+              "--out", str(tmp_path / "m.npz")])
+
+
+def test_run_tiny(tmp_path, capsys):
+    assert main(["run", "--tiny", "--seed", "5", "--report-dir", str(tmp_path / "reports")]) == 0
+    out = capsys.readouterr().out
+    assert "Table 4" in out and "Table 5" in out
+    assert (tmp_path / "reports" / "table5.txt").exists()

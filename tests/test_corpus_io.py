@@ -1,0 +1,67 @@
+"""Unit tests for corpus JSONL serialization."""
+
+import json
+
+import pytest
+
+from repro.corpus.io import (
+    document_from_dict,
+    document_to_dict,
+    iter_jsonl,
+    read_corpus,
+    write_jsonl,
+)
+from repro.types import Platform
+
+
+def test_roundtrip_single_document(tiny_corpus, tmp_path):
+    doc = next(d for d in tiny_corpus if d.truth.is_cth)
+    restored = document_from_dict(document_to_dict(doc))
+    assert restored == doc
+
+
+def test_roundtrip_file(tiny_corpus, tmp_path):
+    docs = list(tiny_corpus)[:200]
+    path = tmp_path / "corpus.jsonl"
+    assert write_jsonl(docs, path) == 200
+    restored = list(iter_jsonl(path))
+    assert restored == docs
+
+
+def test_read_corpus_rebuilds_threads(tiny_corpus, tmp_path):
+    board_docs = list(tiny_corpus.by_platform(Platform.BOARDS))[:300]
+    path = tmp_path / "boards.jsonl"
+    write_jsonl(board_docs, path)
+    corpus = read_corpus(path)
+    assert len(corpus) == 300
+    assert corpus.threads  # thread structure restored
+
+
+def test_truth_fields_roundtrip(tiny_corpus, tmp_path):
+    doxes = [d for d in tiny_corpus if d.truth.is_dox][:50]
+    path = tmp_path / "dox.jsonl"
+    write_jsonl(doxes, path)
+    for original, restored in zip(doxes, iter_jsonl(path)):
+        assert restored.truth.pii_planted == original.truth.pii_planted
+        assert restored.truth.cth_subtypes == original.truth.cth_subtypes
+        assert restored.truth.target_gender == original.truth.target_gender
+
+
+def test_unknown_version_rejected():
+    with pytest.raises(ValueError):
+        document_from_dict({"v": 999})
+
+
+def test_malformed_line_reports_position(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"v": 1, "broken": true}\n')
+    with pytest.raises(ValueError, match="bad.jsonl:1"):
+        list(iter_jsonl(path))
+
+
+def test_blank_lines_skipped(tiny_corpus, tmp_path):
+    docs = list(tiny_corpus)[:3]
+    path = tmp_path / "gaps.jsonl"
+    lines = [json.dumps(document_to_dict(d)) for d in docs]
+    path.write_text("\n\n".join(lines) + "\n")
+    assert len(list(iter_jsonl(path))) == 3

@@ -1,0 +1,68 @@
+"""Tests for the corpus validator."""
+
+from repro.corpus.documents import Corpus, Document, GroundTruth
+from repro.corpus.validate import validate_corpus
+from repro.types import Platform, Source
+
+
+def test_generated_corpus_is_healthy(tiny_corpus):
+    assert validate_corpus(tiny_corpus, strict=True) == []
+
+
+def _doc(doc_id=0, **kwargs):
+    defaults = dict(
+        platform=Platform.GAB, source=Source.GAB, domain="g",
+        text="x", timestamp=0.0, author="a", truth=GroundTruth(),
+    )
+    defaults.update(kwargs)
+    return Document(doc_id=doc_id, **defaults)
+
+
+def test_duplicate_ids_flagged():
+    corpus = Corpus([_doc(1), _doc(1)])
+    assert any("duplicate doc_id" in issue for issue in validate_corpus(corpus))
+
+
+def test_subtypes_without_flag_flagged():
+    from repro.taxonomy.attack_types import AttackSubtype
+
+    bad = _doc(truth=GroundTruth(is_cth=False, cth_subtypes=(AttackSubtype.RAIDING,)))
+    assert any("subtypes without" in i for i in validate_corpus(Corpus([bad])))
+
+
+def test_pii_without_dox_flagged():
+    bad = _doc(truth=GroundTruth(is_dox=False, pii_planted=("email",)))
+    assert any("planted PII" in i for i in validate_corpus(Corpus([bad])))
+
+
+def test_hard_negative_positive_conflict_flagged():
+    bad = _doc(truth=GroundTruth(is_dox=True, hard_negative=True))
+    assert any("hard negative" in i for i in validate_corpus(Corpus([bad])))
+
+
+def test_board_post_without_position_flagged():
+    bad = _doc(platform=Platform.BOARDS, source=Source.BOARDS)
+    assert any("thread position" in i for i in validate_corpus(Corpus([bad])))
+
+
+def test_cth_on_pastes_flagged():
+    bad = _doc(platform=Platform.PASTES, source=Source.PASTES,
+               truth=GroundTruth(is_cth=True))
+    assert any("pastes" in i for i in validate_corpus(Corpus([bad])))
+
+
+def test_strict_requires_all_platforms():
+    corpus = Corpus([_doc(truth=GroundTruth(is_dox=True, pii_planted=("email",)))])
+    issues = validate_corpus(corpus, strict=True)
+    assert any("no documents" in i for i in issues)
+    assert any("no calls to harassment" in i for i in issues)
+
+
+def test_out_of_order_thread_timestamps_flagged():
+    docs = [
+        _doc(0, platform=Platform.BOARDS, source=Source.BOARDS,
+             thread_id=1, position=0, timestamp=10.0),
+        _doc(1, platform=Platform.BOARDS, source=Source.BOARDS,
+             thread_id=1, position=1, timestamp=5.0),
+    ]
+    assert any("timestamps" in i for i in validate_corpus(Corpus(docs)))

@@ -1,0 +1,55 @@
+"""Tests for the ensemble classifier."""
+
+import numpy as np
+import pytest
+
+from repro.nlp.features import HashingVectorizer
+from repro.nlp.metrics import roc_auc
+from repro.nlp.models.ensemble import EnsembleClassifier
+from repro.nlp.models.logreg import LogisticRegressionClassifier
+from repro.nlp.models.naive_bayes import NaiveBayesClassifier
+
+
+def _data():
+    texts = [f"mass report the account {i}" for i in range(100)] + [
+        f"sourdough and weather {i}" for i in range(100)
+    ]
+    y = np.array([True] * 100 + [False] * 100)
+    return HashingVectorizer(n_bits=12).transform_texts(texts), y
+
+
+def test_ensemble_learns():
+    X, y = _data()
+    ensemble = EnsembleClassifier(
+        [LogisticRegressionClassifier(epochs=3), NaiveBayesClassifier()]
+    ).fit(X, y)
+    assert roc_auc(y, ensemble.predict_proba(X)) > 0.99
+
+
+def test_probabilities_are_convex_combination():
+    X, y = _data()
+    a = LogisticRegressionClassifier(epochs=3, seed=1)
+    b = NaiveBayesClassifier()
+    ensemble = EnsembleClassifier([a, b], weights=[3.0, 1.0]).fit(X, y)
+    combined = ensemble.predict_proba(X)
+    expected = 0.75 * a.predict_proba(X) + 0.25 * b.predict_proba(X)
+    np.testing.assert_allclose(combined, expected)
+    assert (combined >= 0).all() and (combined <= 1).all()
+
+
+def test_single_member_is_identity():
+    X, y = _data()
+    member = NaiveBayesClassifier()
+    ensemble = EnsembleClassifier([member]).fit(X, y)
+    np.testing.assert_allclose(ensemble.predict_proba(X), member.predict_proba(X))
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        EnsembleClassifier([])
+    with pytest.raises(ValueError):
+        EnsembleClassifier([NaiveBayesClassifier()], weights=[1.0, 2.0])
+    with pytest.raises(ValueError):
+        EnsembleClassifier([NaiveBayesClassifier()], weights=[-1.0])
+    with pytest.raises(ValueError):
+        EnsembleClassifier([NaiveBayesClassifier()], weights=[0.0])

@@ -1,0 +1,184 @@
+"""Tests for the §9.2 future-work extensions."""
+
+import numpy as np
+import pytest
+
+from repro.extensions.cross_platform import build_target_linkage
+from repro.extensions.escalation import escalation_curve
+from repro.extensions.longitudinal import (
+    attack_mix_over_time,
+    monthly_volume,
+    trend_test,
+)
+from repro.extensions.per_attack import PerAttackTypeClassifier, evaluate_per_attack
+from repro.taxonomy.attack_types import AttackType
+from repro.types import Platform, Source, Task
+
+
+# -- per-attack classifiers --------------------------------------------------
+
+@pytest.fixture(scope="module")
+def per_attack(tiny_study):
+    coded = tiny_study.coded_cth
+    split = int(len(coded) * 0.7)
+    classifier = PerAttackTypeClassifier(epochs=4, seed=1).fit(coded[:split])
+    return classifier, coded[split:]
+
+
+def test_per_attack_trains_frequent_types(per_attack):
+    classifier, _eval = per_attack
+    assert AttackType.REPORTING in classifier.attack_types
+    assert AttackType.CONTENT_LEAKAGE in classifier.attack_types
+
+
+def test_per_attack_skips_sparse_types(per_attack):
+    classifier, _eval = per_attack
+    # Lockout & control has almost no examples (paper Table 5: 0.2%).
+    assert AttackType.LOCKOUT_AND_CONTROL not in classifier.attack_types
+
+
+def test_per_attack_evaluation(per_attack):
+    classifier, eval_set = per_attack
+    result = evaluate_per_attack(classifier, eval_set)
+    assert result.per_type
+    assert result.macro_f1 > 0.5
+    reporting = result.per_type.get(AttackType.REPORTING)
+    assert reporting and reporting["f1"] > 0.7
+
+
+def test_per_attack_predict_types(per_attack):
+    classifier, _eval = per_attack
+    types = classifier.predict_types(
+        "we should mass report his account until the platform bans him"
+    )
+    assert AttackType.REPORTING in types
+
+
+def test_per_attack_empty_fit_rejected():
+    with pytest.raises(ValueError):
+        PerAttackTypeClassifier().fit([])
+
+
+def test_per_attack_unfitted_predict_rejected():
+    with pytest.raises(RuntimeError):
+        PerAttackTypeClassifier().predict_proba(["text"])
+
+
+# -- cross-platform linkage ---------------------------------------------------
+
+def test_linkage_finds_repeated_targets(tiny_study):
+    docs = list(tiny_study.above_threshold(Task.DOX))
+    graph = build_target_linkage(docs)
+    assert graph.n_components > 0
+    assert graph.n_linked_documents >= 2 * graph.n_components
+    assert graph.largest_campaign[0] >= 2
+
+
+def test_linkage_cross_platform_minority(tiny_study):
+    docs = list(tiny_study.above_threshold(Task.DOX))
+    graph = build_target_linkage(docs)
+    # §7.3: 98% of repeats stay on one platform -> cross-platform
+    # components are a small minority.
+    assert graph.cross_platform_share < 0.3
+
+
+def test_linkage_empty_input():
+    graph = build_target_linkage([])
+    assert graph.n_components == 0
+    assert graph.cross_platform_share == 0.0
+
+
+def test_linkage_histograms_consistent(tiny_study):
+    docs = list(tiny_study.above_threshold(Task.DOX))[:500]
+    graph = build_target_linkage(docs)
+    assert sum(graph.component_size_histogram.values()) == graph.n_components
+    assert sum(graph.platform_span_histogram.values()) == graph.n_components
+
+
+# -- escalation ----------------------------------------------------------------
+
+def test_escalation_curve_monotone(tiny_study):
+    cth = tiny_study.results[Task.CTH].true_positive_documents(Source.BOARDS)
+    curve = escalation_curve(tiny_study.corpus, cth)
+    assert curve.n_threads_with_cth > 10
+    assert (np.diff(curve.cumulative) >= 0).all()
+    assert curve.cumulative[-1] == pytest.approx(1.0)
+
+
+def test_escalation_probability_by(tiny_study):
+    cth = tiny_study.results[Task.CTH].true_positive_documents(Source.BOARDS)
+    curve = escalation_curve(tiny_study.corpus, cth)
+    assert curve.probability_by(1.0) == pytest.approx(1.0)
+    assert curve.probability_by(0.0) <= curve.probability_by(0.5)
+    with pytest.raises(ValueError):
+        curve.probability_by(1.5)
+
+
+def test_escalation_grows_with_thread_size(tiny_study):
+    cth = tiny_study.results[Task.CTH].true_positive_documents(Source.BOARDS)
+    curve = escalation_curve(tiny_study.corpus, cth)
+    buckets = dict(curve.escalation_by_size)
+    small = buckets.get(1, 0.0)
+    large = max(p for b, p in buckets.items() if b >= 100) if any(
+        b >= 100 for b in buckets
+    ) else None
+    if large is not None:
+        # Size-biased planting: large threads escalate far more often.
+        assert large > small
+
+
+def test_escalation_requires_matching_threads(tiny_study):
+    with pytest.raises(ValueError):
+        escalation_curve(tiny_study.corpus, [])
+
+
+# -- longitudinal ---------------------------------------------------------------
+
+def test_monthly_volume_covers_range(tiny_study):
+    cth = tiny_study.results[Task.CTH].true_positive_documents()
+    volume = monthly_volume(cth)
+    assert len(volume) > 12
+    assert sum(volume.values()) == len(cth)
+    assert list(volume) == sorted(volume)
+
+
+def test_monthly_volume_platform_filter(tiny_study):
+    cth = tiny_study.results[Task.CTH].true_positive_documents()
+    gab_only = monthly_volume(cth, platform=Platform.GAB)
+    assert sum(gab_only.values()) <= sum(monthly_volume(cth).values())
+
+
+def test_trend_test_flat_series():
+    counts = {f"2020-{m:02d}": 10 for m in range(1, 13)}
+    result = trend_test(counts, n_permutations=500)
+    assert not result.increasing
+    assert result.p_value > 0.05
+
+
+def test_trend_test_increasing_series():
+    counts = {f"2020-{m:02d}": m * 10 for m in range(1, 13)}
+    result = trend_test(counts, n_permutations=500)
+    assert result.increasing
+    assert result.slope > 0
+
+
+def test_trend_test_needs_three_months():
+    with pytest.raises(ValueError):
+        trend_test({"2020-01": 1, "2020-02": 2})
+
+
+def test_attack_mix_over_time(tiny_study):
+    mixes = attack_mix_over_time(tiny_study.coded_cth, n_windows=3)
+    assert len(mixes) == 3
+    for mix in mixes:
+        assert mix  # every window observed some attack type
+        assert all(0 <= share <= 1 for share in mix.values())
+        # Reporting dominates every window (uniform planting over time).
+        assert max(mix, key=mix.get) is AttackType.REPORTING
+
+
+def test_attack_mix_validation(tiny_study):
+    with pytest.raises(ValueError):
+        attack_mix_over_time([], n_windows=2)
+    with pytest.raises(ValueError):
+        attack_mix_over_time(tiny_study.coded_cth, n_windows=0)

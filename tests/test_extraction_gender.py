@@ -1,0 +1,54 @@
+"""Unit tests for pronoun-based gender inference (paper §5.6)."""
+
+import pytest
+
+from repro.extraction.gender import evaluate_gender_inference, infer_gender, pronoun_counts
+from repro.types import Gender
+
+
+def test_male_pronouns():
+    assert infer_gender("he posted his address and we found him") is Gender.MALE
+
+
+def test_female_pronouns():
+    assert infer_gender("she said her account was hers") is Gender.FEMALE
+
+
+def test_majority_wins():
+    text = "she was there but he and his friends followed him and his car"
+    assert infer_gender(text) is Gender.MALE
+
+
+def test_tie_is_unknown():
+    assert infer_gender("he said she left") is Gender.UNKNOWN
+
+
+def test_no_pronouns_unknown():
+    assert infer_gender("the account posted the message") is Gender.UNKNOWN
+
+
+def test_case_insensitive():
+    assert infer_gender("SHE posted. Her account.") is Gender.FEMALE
+
+
+def test_word_boundaries():
+    # 'shell', 'theme', 'hero' must not count as pronouns.
+    assert infer_gender("the shell theme hero cache") is Gender.UNKNOWN
+
+
+def test_pronoun_counts():
+    assert pronoun_counts("he his him she") == (3, 1)
+
+
+def test_evaluate_on_corpus(tiny_corpus):
+    docs = [d for d in tiny_corpus if d.truth.is_dox or d.truth.is_cth]
+    result = evaluate_gender_inference(docs)
+    # Paper §5.6: 94.3% accuracy; the generator plants a 5.7% wrong-pronoun
+    # rate, so accuracy should land close to that.
+    assert 0.85 <= result["accuracy"] <= 1.0
+    assert result["n_evaluated"] > 50
+
+
+def test_evaluate_empty_raises():
+    with pytest.raises(ValueError):
+        evaluate_gender_inference([])

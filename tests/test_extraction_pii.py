@@ -1,0 +1,118 @@
+"""Unit and property tests for PII extraction (paper §5.6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.identity import PersonFactory, PII_CATEGORIES
+from repro.extraction.pii import (
+    N_PATTERNS,
+    PII_EXTRACTORS,
+    evaluate_extractors,
+    extract_pii,
+    pii_categories_present,
+)
+from repro.types import Gender
+
+
+def test_nine_categories_twelve_plus_patterns():
+    assert len(PII_EXTRACTORS) == 9
+    assert N_PATTERNS >= 12
+
+
+def test_email():
+    found = extract_pii("contact me at jane.doe+x@mailhaven.example ok")
+    assert found["email"] == ["jane.doe+x@mailhaven.example"]
+
+
+def test_phone_formats():
+    assert "phone" in pii_categories_present("call (212) 555-0147")
+    assert "phone" in pii_categories_present("call 212-555-0147")
+    assert "phone" not in pii_categories_present("order 12125550147999 shipped")
+
+
+def test_ssn():
+    assert "ssn" in pii_categories_present("ssn: 987-65-4321")
+    assert "ssn" not in pii_categories_present("date 1987-65-43210")
+
+
+def test_credit_cards_by_issuer():
+    assert "credit_card" in pii_categories_present("card 4111 1111 1111 1111")
+    assert "credit_card" in pii_categories_present("card 5555555555554444")
+    assert "credit_card" in pii_categories_present("amex 3782 822463 10005")
+    assert "credit_card" in pii_categories_present("disc 6011 1111 1111 1117")
+    assert "credit_card" not in pii_categories_present("number 1234 5678 9012 3456")
+
+
+def test_address():
+    assert "address" in pii_categories_present("lives at 123 Maple St, Fairhaven, NY 10001")
+    assert "address" in pii_categories_present("4821 Sycamore Ave")
+    assert "address" not in pii_categories_present("we walked down the street")
+
+
+def test_facebook_url_and_label():
+    assert "facebook" in pii_categories_present("https://facebook.com/john.doe.42")
+    assert "facebook" in pii_categories_present("fb: john.doe.42")
+
+
+def test_facebook_stopwords():
+    assert "facebook" not in pii_categories_present("https://facebook.com/login")
+    assert "facebook" not in pii_categories_present("facebook.com/groups")
+
+
+def test_twitter_url_label_and_stopwords():
+    assert "twitter" in pii_categories_present("twitter.com/somebody1")
+    assert "twitter" in pii_categories_present("twitter: somebody1")
+    assert "twitter" not in pii_categories_present("twitter.com/search")
+
+
+def test_instagram():
+    assert "instagram" in pii_categories_present("https://instagram.com/some_user")
+    assert "instagram" in pii_categories_present("ig: some_user")
+    assert "instagram" not in pii_categories_present("instagram.com/explore")
+
+
+def test_youtube_forms():
+    assert "youtube" in pii_categories_present("youtube.com/c/SomeChannel")
+    assert "youtube" in pii_categories_present("youtube.com/channel/UC12345abc")
+    assert "youtube" in pii_categories_present("yt: SomeChannel")
+
+
+def test_extract_dedupes():
+    found = extract_pii("mail a@b.example and again a@b.example")
+    assert found["email"] == ["a@b.example"]
+
+
+def test_no_pii_in_plain_text():
+    assert pii_categories_present("just a friendly chat about the weather") == frozenset()
+
+
+def test_extractors_on_rendered_person():
+    factory = PersonFactory(np.random.default_rng(0))
+    person = factory.make(Gender.FEMALE)
+    for category in PII_CATEGORIES:
+        text = f"info: {person.pii_value(category)}"
+        assert category in pii_categories_present(text), category
+
+
+def test_evaluate_extractors_high_accuracy(tiny_corpus):
+    doxes = [d for d in tiny_corpus if d.truth.is_dox][:500]
+    accuracy = evaluate_extractors(doxes)
+    # Paper: all regexes >= 95% accurate on labelled doxes.
+    for category, acc in accuracy.items():
+        assert acc >= 0.95, (category, acc)
+
+
+def test_evaluate_empty_raises():
+    with pytest.raises(ValueError):
+        evaluate_extractors([])
+
+
+@given(st.text(alphabet=st.characters(codec="ascii"), max_size=200))
+@settings(max_examples=80)
+def test_extract_never_crashes(text):
+    found = extract_pii(text)
+    assert set(found) <= set(PII_EXTRACTORS)
+    present = pii_categories_present(text)
+    assert present == frozenset(found)

@@ -1,0 +1,137 @@
+"""Unit and property tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp.metrics import (
+    binary_classification_report,
+    cohens_kappa,
+    confusion_counts,
+    precision_recall_f1,
+    roc_auc,
+)
+
+
+def test_perfect_prediction():
+    y = [True, False, True, False]
+    m = precision_recall_f1(y, y)
+    assert m["precision"] == m["recall"] == m["f1"] == 1.0
+
+
+def test_all_wrong():
+    y = [True, False]
+    m = precision_recall_f1(y, [False, True])
+    assert m["f1"] == 0.0
+
+
+def test_known_values():
+    y_true = [True, True, True, False, False]
+    y_pred = [True, True, False, True, False]
+    m = precision_recall_f1(y_true, y_pred)
+    assert m["precision"] == pytest.approx(2 / 3)
+    assert m["recall"] == pytest.approx(2 / 3)
+
+
+def test_report_structure():
+    y_true = [True] * 5 + [False] * 15
+    y_pred = [True] * 4 + [False] * 16
+    report = binary_classification_report(y_true, y_pred, "dox", "no_dox")
+    assert set(report) == {"dox", "no_dox", "weighted_avg", "macro_avg"}
+    # Weighted average is support-weighted.
+    expected = (report["dox"]["f1"] * 5 + report["no_dox"]["f1"] * 15) / 20
+    assert report["weighted_avg"]["f1"] == pytest.approx(expected)
+    expected_macro = (report["dox"]["f1"] + report["no_dox"]["f1"]) / 2
+    assert report["macro_avg"]["f1"] == pytest.approx(expected_macro)
+
+
+def test_report_empty_raises():
+    with pytest.raises(ValueError):
+        binary_classification_report([], [])
+
+
+def test_roc_auc_perfect_and_inverted():
+    y = [False, False, True, True]
+    assert roc_auc(y, [0.1, 0.2, 0.8, 0.9]) == 1.0
+    assert roc_auc(y, [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+
+def test_roc_auc_ties_half():
+    y = [False, True]
+    assert roc_auc(y, [0.5, 0.5]) == pytest.approx(0.5)
+
+
+def test_roc_auc_single_class_raises():
+    with pytest.raises(ValueError):
+        roc_auc([True, True], [0.1, 0.2])
+
+
+def test_kappa_perfect_agreement():
+    assert cohens_kappa([1, 0, 1, 0], [1, 0, 1, 0]) == pytest.approx(1.0)
+
+
+def test_kappa_chance_agreement_near_zero():
+    rng = np.random.default_rng(0)
+    a = rng.random(5000) < 0.5
+    b = rng.random(5000) < 0.5
+    assert abs(cohens_kappa(a, b)) < 0.05
+
+
+def test_kappa_known_value():
+    # Classic worked example: po=0.7, pe=0.5 -> kappa=0.4
+    a = [1] * 25 + [1] * 15 + [0] * 15 + [0] * 45
+    b = [1] * 25 + [0] * 15 + [1] * 15 + [0] * 45
+    po = 0.7
+    pe = 0.4 * 0.4 + 0.6 * 0.6
+    expected = (po - pe) / (1 - pe)
+    assert cohens_kappa(a, b) == pytest.approx(expected)
+
+
+def test_kappa_shape_mismatch():
+    with pytest.raises(ValueError):
+        cohens_kappa([1, 0], [1])
+
+
+def test_kappa_empty():
+    with pytest.raises(ValueError):
+        cohens_kappa([], [])
+
+
+def test_confusion_counts():
+    counts = confusion_counts([True, True, False, False], [True, False, True, False])
+    assert counts == {"tp": 1, "fp": 1, "fn": 1, "tn": 1}
+
+
+@given(
+    st.lists(st.booleans(), min_size=4, max_size=100).filter(
+        lambda ys: any(ys) and not all(ys)
+    )
+)
+@settings(max_examples=60)
+def test_auc_invariant_to_monotone_transform(y):
+    rng = np.random.default_rng(3)
+    scores = rng.random(len(y))
+    a = roc_auc(y, scores)
+    b = roc_auc(y, np.exp(scores * 4))
+    assert a == pytest.approx(b)
+
+
+@given(
+    st.lists(st.booleans(), min_size=2, max_size=50),
+    st.lists(st.booleans(), min_size=2, max_size=50),
+)
+@settings(max_examples=60)
+def test_kappa_bounded(a, b):
+    n = min(len(a), len(b))
+    value = cohens_kappa(a[:n], b[:n])
+    assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=60))
+@settings(max_examples=60)
+def test_f1_between_zero_and_one(y_true):
+    rng = np.random.default_rng(5)
+    y_pred = rng.random(len(y_true)) < 0.5
+    m = precision_recall_f1(y_true, y_pred)
+    assert 0.0 <= m["f1"] <= 1.0

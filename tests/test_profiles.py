@@ -1,0 +1,118 @@
+"""Unit tests for the calibrated generation profiles."""
+
+import numpy as np
+import pytest
+
+from repro import paper
+from repro.corpus import profiles
+from repro.taxonomy.attack_types import PARENT_OF, AttackSubtype, AttackType
+from repro.types import Gender, Platform, Source, Task
+
+
+def test_raw_document_counts_scaled():
+    counts = profiles.raw_document_counts()
+    assert counts[Platform.BOARDS] == int(405_943_342 * profiles.NEGATIVE_SCALE)
+    assert counts[Platform.BLOGS] == int(115_052 * profiles.BLOG_SCALE)
+
+
+def test_planted_positive_counts_match_table4():
+    counts = profiles.planted_positive_counts(Task.CTH)
+    assert counts[Source.BOARDS] == int(30_685 * profiles.POSITIVE_SCALE)
+    assert Source.PASTES not in counts  # CTH task excludes pastes
+
+
+def test_annotation_caps():
+    caps = profiles.annotation_caps(Task.DOX)
+    assert caps[Source.BOARDS] == 3_300
+    assert caps[Source.GAB] > 1_000_000  # fully annotated -> effectively unbounded
+
+
+def test_subtype_weights_normalised():
+    for platform in (Platform.BOARDS, Platform.CHAT, Platform.GAB):
+        weights = profiles.subtype_weights(platform)
+        assert abs(sum(weights.values()) - 1.0) < 1e-9
+        assert all(w > 0 for w in weights.values())
+
+
+def test_subtype_weights_ranking_matches_paper():
+    weights = profiles.subtype_weights(Platform.BOARDS)
+    # Mass flagging and false reporting dominate boards in Table 11.
+    assert weights[AttackSubtype.MASS_FLAGGING] > weights[AttackSubtype.RAIDING]
+    chat = profiles.subtype_weights(Platform.CHAT)
+    assert chat[AttackSubtype.RAIDING] > chat[AttackSubtype.SPAMMING]
+
+
+def test_gender_weights_normalised():
+    for subtype in AttackSubtype:
+        weights = profiles.gender_weights_for_subtype(subtype)
+        assert abs(sum(weights.values()) - 1.0) < 1e-9
+
+
+def test_pii_inclusion_probs_match_table6():
+    probs = profiles.pii_inclusion_probs(Platform.PASTES)
+    assert probs["address"] == pytest.approx(0.4567)
+    assert probs["credit_card"] == pytest.approx(0.0494)
+
+
+def test_sample_subtypes_unique_and_nonempty(rng):
+    for _ in range(200):
+        subtypes = profiles.sample_subtypes(rng, Platform.CHAT)
+        assert len(subtypes) >= 1
+        assert len(set(subtypes)) == len(subtypes)
+
+
+def test_sample_subtypes_respects_conditional_boosts():
+    rng = np.random.default_rng(3)
+    surveillance_with_leakage = 0
+    surveillance_total = 0
+    for _ in range(8000):
+        subtypes = profiles.sample_subtypes(rng, Platform.BOARDS)
+        parents = {PARENT_OF[s] for s in subtypes}
+        if PARENT_OF[subtypes[0]] is AttackType.SURVEILLANCE:
+            surveillance_total += 1
+            if AttackType.CONTENT_LEAKAGE in parents:
+                surveillance_with_leakage += 1
+    if surveillance_total < 10:
+        pytest.skip("too few surveillance draws")
+    # Paper §6.2: 64% of surveillance calls also contain content leakage.
+    assert surveillance_with_leakage / surveillance_total > 0.4
+
+
+def test_sample_gender_distribution_tracks_table10():
+    rng = np.random.default_rng(4)
+    draws = [profiles.sample_gender(rng, AttackSubtype.MASS_FLAGGING) for _ in range(4000)]
+    share_unknown = draws.count(Gender.UNKNOWN) / len(draws)
+    expected = paper.TABLE10_GENDER[AttackSubtype.MASS_FLAGGING][Gender.UNKNOWN][1] / sum(
+        paper.TABLE10_GENDER[AttackSubtype.MASS_FLAGGING][g][1] for g in Gender
+    )
+    assert abs(share_unknown - expected) < 0.05
+
+
+def test_sample_pii_types_never_empty_except_discord(rng):
+    for _ in range(100):
+        assert profiles.sample_pii_types(rng, Platform.PASTES, Source.PASTES)
+
+
+def test_sample_pii_types_discord_often_empty():
+    rng = np.random.default_rng(5)
+    empties = sum(
+        1 for _ in range(500)
+        if not profiles.sample_pii_types(rng, Platform.CHAT, Source.DISCORD)
+    )
+    # §7.2: more than 50% of Discord doxes had no extractable PII.
+    assert 0.35 < empties / 500 < 0.7
+
+
+def test_thread_size_bounds(rng):
+    sizes = [profiles.sample_thread_size(rng) for _ in range(1000)]
+    assert min(sizes) >= 1
+    assert max(sizes) <= profiles.THREAD_SIZE_MAX
+
+
+def test_n_types_distribution_sums_to_one():
+    assert abs(sum(profiles.N_TYPES_DISTRIBUTION.values()) - 1.0) < 1e-6
+
+
+def test_chat_volumes_partition():
+    volumes = profiles.chat_volumes(1000)
+    assert sum(v.documents for v in volumes) == 1000

@@ -1,0 +1,37 @@
+"""Tests for the complete report bundle."""
+
+from repro.reporting.bundle import generate_report_bundle
+
+
+def test_bundle_contains_every_paper_table(tiny_study):
+    reports = generate_report_bundle(tiny_study)
+    expected = {
+        "table1_datasets", "table2_training_data", "table3_classifier_perf",
+        "table4_thresholds", "figure1_funnel", "table5_attack_types",
+        "table6_pii", "table7_harm_risk", "table8_blogs",
+        "table9_blog_taxonomy", "table10_gender", "table11_taxonomy",
+        "figure2_harm_overlap", "figure5_thread_cdf", "cooccurrence_summary",
+    }
+    assert expected <= set(reports)
+    for name, content in reports.items():
+        assert isinstance(content, str) and content.strip(), name
+
+
+def test_bundle_reports_reference_paper_values(tiny_study):
+    reports = generate_report_bundle(tiny_study)
+    assert "405,943,342" in reports["table1_datasets"]
+    assert "paper" in reports["table5_attack_types"]
+    assert "Daily Stormer" in reports["table9_blog_taxonomy"]
+
+
+def test_cli_run_all_writes_bundle(tmp_path, capsys):
+    from repro.cli import main
+
+    assert main([
+        "run", "--tiny", "--seed", "6", "--all",
+        "--report-dir", str(tmp_path / "all"),
+    ]) == 0
+    written = list((tmp_path / "all").glob("*.txt"))
+    assert len(written) >= 14
+    out = capsys.readouterr().out
+    assert "Table 5" in out

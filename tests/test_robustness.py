@@ -1,0 +1,79 @@
+"""Tests for perturbation operators and the evasion-robustness harness."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.perturb import (
+    PERTURBATIONS,
+    leetspeak,
+    separator_swap,
+    spacing_attack,
+    typo_swap,
+    vowel_drop,
+)
+from repro.analysis.robustness import evasion_robustness
+from repro.nlp.features import HashingVectorizer
+from repro.nlp.models.logreg import LogisticRegressionClassifier
+from repro.types import Task
+
+
+@pytest.fixture()
+def gen():
+    return np.random.default_rng(5)
+
+
+def test_typo_swap_preserves_length(gen):
+    text = "we should mass report his account"
+    assert len(typo_swap(text, gen, rate=0.5)) == len(text)
+
+
+def test_leetspeak_substitutes(gen):
+    out = leetspeak("aeiost" * 20, gen, rate=1.0)
+    assert out == "431057" * 20
+
+
+def test_vowel_drop_removes_only_vowels(gen):
+    out = vowel_drop("reporting", gen, rate=1.0)
+    assert out == "rprtng"
+
+
+def test_spacing_attack_only_adds_spaces(gen):
+    text = "mass report"
+    out = spacing_attack(text, gen, rate=1.0)
+    assert out.replace(" ", "") == text.replace(" ", "")
+    assert len(out) > len(text)
+
+
+def test_separator_swap_phone(gen):
+    out = separator_swap("(212) 555-0147 a@b.example", gen)
+    assert "(" not in out and "-" not in out and "@" not in out
+
+
+def test_all_perturbations_nonempty(gen):
+    for name, op in PERTURBATIONS.items():
+        out = op("we should report him to the mods now", gen)
+        assert isinstance(out, str) and out, name
+
+
+def test_robustness_report_shape(tiny_study):
+    docs = tiny_study.vectorized.documents
+    labels = np.array([d.truth_for(Task.CTH) for d in docs])
+    vectorizer = HashingVectorizer(n_bits=14)
+    model = LogisticRegressionClassifier(epochs=3, seed=1).fit(
+        vectorizer.transform_texts([d.text for d in docs[:4000]]), labels[:4000]
+    )
+    positives = [d for d in docs if d.truth_for(Task.CTH)][:200]
+    report = evasion_robustness(model, vectorizer, positives, seed=3)
+    assert report.n_documents == 200
+    assert 0.5 < report.clean_recall <= 1.0
+    assert set(report.recall_by_perturbation) == set(PERTURBATIONS)
+    for recall in report.recall_by_perturbation.values():
+        assert 0.0 <= recall <= 1.0
+    # Heavy perturbations must cost recall relative to clean text.
+    assert report.degradation(report.worst_perturbation) > 0.05
+
+
+def test_robustness_requires_positives():
+    vectorizer = HashingVectorizer(n_bits=10)
+    with pytest.raises(ValueError):
+        evasion_robustness(None, vectorizer, [])

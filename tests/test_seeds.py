@@ -1,0 +1,89 @@
+"""Unit tests for seed-annotation construction (paper §5.1, Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.seeds import (
+    build_cth_seed,
+    build_dox_seed,
+    build_seed,
+    cth_seed_candidates,
+    matches_seed_query,
+)
+from repro.types import Platform, Source, Task
+
+
+def test_query_requires_both_clauses():
+    assert matches_seed_query("we should report him today")
+    assert not matches_seed_query("report him today")  # no mobilising clause
+    # "we should" alone matches: "we " substring plus ... needs target too
+    assert not matches_seed_query("nothing to see here")
+
+
+def test_query_matches_paper_examples():
+    assert matches_seed_query("lets mass report her account")
+    assert matches_seed_query("we need to go after them")
+    assert matches_seed_query("we will find the entire group")
+
+
+def test_query_case_insensitive():
+    assert matches_seed_query("We Should spam HIM")
+
+
+def test_cth_candidates_restricted_to_sources(tiny_study):
+    docs = tiny_study.vectorized.documents
+    candidates = cth_seed_candidates(docs, sources=(Source.BOARDS,))
+    assert candidates.size > 0
+    for pos in candidates[:100]:
+        assert docs[pos].source is Source.BOARDS
+        assert matches_seed_query(docs[pos].text)
+
+
+def test_cth_seed_has_both_classes(tiny_study):
+    docs = tiny_study.vectorized.documents
+    seed = build_cth_seed(docs, seed=1)
+    assert seed.n_positive > 0
+    assert seed.n_negative > 0
+
+
+def test_cth_seed_biased_toward_positives(tiny_study):
+    """The keyword query concentrates positives far above base rate."""
+    docs = tiny_study.vectorized.documents
+    seed = build_cth_seed(docs, seed=1)
+    base_rate = np.mean([d.truth.is_cth for d in docs])
+    seed_rate = seed.n_positive / (seed.n_positive + seed.n_negative)
+    assert seed_rate > base_rate * 3
+
+
+def test_dox_seed_shape(tiny_study):
+    docs = tiny_study.vectorized.documents
+    seed = build_dox_seed(docs, seed=1, n_positive=50, n_negative=200)
+    assert seed.n_positive <= 50
+    assert seed.n_negative <= 200
+    for pos in seed.positions:
+        assert docs[pos].platform is Platform.PASTES
+
+
+def test_dox_seed_labels_are_oracle(tiny_study):
+    docs = tiny_study.vectorized.documents
+    seed = build_dox_seed(docs, seed=1, n_positive=30, n_negative=100)
+    for pos, label in zip(seed.positions, seed.labels):
+        assert docs[pos].truth.is_dox == bool(label)
+
+
+def test_build_seed_dispatch(tiny_study):
+    docs = tiny_study.vectorized.documents
+    assert build_seed(docs, Task.DOX, 1).n_positive > 0
+    assert build_seed(docs, Task.CTH, 1).n_positive > 0
+
+
+def test_seed_misaligned_rejected():
+    from repro.pipeline.seeds import SeedSet
+
+    with pytest.raises(ValueError):
+        SeedSet(positions=np.array([1, 2]), labels=np.array([True]))
+
+
+def test_empty_corpus_rejected():
+    with pytest.raises(ValueError):
+        build_dox_seed([], seed=1)

@@ -1,0 +1,56 @@
+"""Tests for the threshold-sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    reporting_dominates,
+    threshold_sensitivity,
+)
+from repro.taxonomy.attack_types import AttackType
+from repro.types import Platform, Task
+
+
+@pytest.fixture(scope="module")
+def sensitivity(tiny_study):
+    return threshold_sensitivity(
+        tiny_study.results[Task.CTH], thresholds=(0.5, 0.7, 0.9)
+    )
+
+
+def test_structure(sensitivity):
+    assert sensitivity.thresholds == (0.5, 0.7, 0.9)
+    for threshold in sensitivity.thresholds:
+        assert sensitivity.shares[threshold]
+        for platform, sizes in sensitivity.sizes[threshold].items():
+            assert sizes >= 0
+
+
+def test_sets_shrink_with_threshold(sensitivity):
+    totals = [
+        sum(sensitivity.sizes[t].values()) for t in sensitivity.thresholds
+    ]
+    assert totals[0] >= totals[1] >= totals[2]
+    assert totals[2] > 0
+
+
+def test_reporting_dominates_across_thresholds(sensitivity):
+    """The paper's headline conclusion is threshold-stable (small columns
+    are filtered by conclusion_stable's min_size)."""
+    assert sensitivity.conclusion_stable(reporting_dominates)
+
+
+def test_pooled_dominant_attack(sensitivity):
+    from repro.analysis.sensitivity import pooled_dominant_attack
+
+    for threshold in sensitivity.thresholds:
+        assert pooled_dominant_attack(sensitivity, threshold) is AttackType.REPORTING
+
+
+def test_dominant_attack_accessor(sensitivity):
+    dominant = sensitivity.dominant_attack(0.9, Platform.BOARDS)
+    assert dominant is AttackType.REPORTING
+
+
+def test_validation(tiny_study):
+    with pytest.raises(ValueError):
+        threshold_sensitivity(tiny_study.results[Task.CTH], thresholds=())

@@ -1,0 +1,68 @@
+"""Unit tests for model persistence."""
+
+import numpy as np
+import pytest
+
+from repro.nlp.features import HashingVectorizer
+from repro.nlp.models.logreg import LogisticRegressionClassifier
+from repro.nlp.serialize import (
+    load_filter_model,
+    load_wordpiece,
+    save_filter_model,
+    save_wordpiece,
+)
+from repro.nlp.wordpiece import WordPieceVocab
+
+
+@pytest.fixture()
+def trained():
+    vectorizer = HashingVectorizer(n_bits=12, use_bigrams=True)
+    texts = [f"mass report account {i}" for i in range(50)] + [
+        f"nice weather {i}" for i in range(50)
+    ]
+    labels = np.array([True] * 50 + [False] * 50)
+    model = LogisticRegressionClassifier(epochs=3, seed=1).fit(
+        vectorizer.transform_texts(texts), labels
+    )
+    return model, vectorizer, texts
+
+
+def test_roundtrip_predictions_identical(trained, tmp_path):
+    model, vectorizer, texts = trained
+    path = tmp_path / "model.npz"
+    save_filter_model(path, model, vectorizer, metadata={"task": "cth"})
+    loaded, loaded_vec, metadata = load_filter_model(path)
+    assert metadata == {"task": "cth"}
+    assert loaded_vec.n_bits == vectorizer.n_bits
+    original = model.predict_proba(vectorizer.transform_texts(texts))
+    restored = loaded.predict_proba(loaded_vec.transform_texts(texts))
+    np.testing.assert_allclose(original, restored)
+
+
+def test_unfitted_model_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        save_filter_model(tmp_path / "x.npz", LogisticRegressionClassifier(), HashingVectorizer())
+
+
+def test_wrong_format_rejected(tmp_path):
+    path = tmp_path / "bogus.npz"
+    np.savez(path, header=np.frombuffer(b'{"format": "other"}', dtype=np.uint8), weights=np.zeros(4))
+    with pytest.raises(ValueError):
+        load_filter_model(path)
+
+
+def test_wordpiece_roundtrip(tmp_path):
+    vocab = WordPieceVocab.train(["report him now", "weather is nice"] * 5, vocab_size=80)
+    path = tmp_path / "vocab.json"
+    save_wordpiece(path, vocab)
+    loaded = load_wordpiece(path)
+    assert len(loaded) == len(vocab)
+    text = "report the weather"
+    assert loaded.encode(text) == vocab.encode(text)
+
+
+def test_wordpiece_wrong_format(tmp_path):
+    path = tmp_path / "bogus.json"
+    path.write_text('{"format": "other", "tokens": []}')
+    with pytest.raises(ValueError):
+        load_wordpiece(path)

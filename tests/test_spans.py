@@ -1,0 +1,89 @@
+"""Unit and property tests for long-document span strategies."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nlp.spans import MAX_SPANS_PER_DOC, SpanStrategy, make_spans
+
+
+@pytest.fixture()
+def gen():
+    return np.random.default_rng(0)
+
+
+def test_short_document_single_span(gen):
+    assert make_spans(10, 32, SpanStrategy.RANDOM_NO_OVERLAP, gen) == [(0, 10)]
+
+
+def test_random_no_overlap_never_overlaps(gen):
+    for _ in range(100):
+        spans = make_spans(1000, 64, SpanStrategy.RANDOM_NO_OVERLAP, gen)
+        spans = sorted(spans)
+        for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+
+def test_random_no_overlap_covers_all_areas_eventually(gen):
+    starts = set()
+    for _ in range(200):
+        for start, _end in make_spans(64 * 6, 64, SpanStrategy.RANDOM_NO_OVERLAP, gen):
+            starts.add(start)
+    # All six windows get sampled across repetitions.
+    assert starts == {0, 64, 128, 192, 256, 320}
+
+
+def test_head_tail(gen):
+    spans = make_spans(100, 30, SpanStrategy.HEAD_TAIL, gen)
+    assert spans == [(0, 30), (70, 100)]
+
+
+def test_overlapping_strides(gen):
+    spans = make_spans(100, 40, SpanStrategy.OVERLAPPING, gen)
+    assert spans[0] == (0, 40)
+    assert spans[1][0] == 20  # stride = max_tokens // 2
+
+
+def test_random_length_within_bounds(gen):
+    for _ in range(50):
+        for start, end in make_spans(500, 64, SpanStrategy.RANDOM_LENGTH, gen):
+            assert 0 <= start < end
+            assert end - start <= 64
+
+
+def test_max_spans_cap(gen):
+    for strategy in SpanStrategy:
+        spans = make_spans(10_000, 16, strategy, gen)
+        if strategy is SpanStrategy.HEAD_TAIL:
+            assert len(spans) == 2
+        else:
+            assert len(spans) <= MAX_SPANS_PER_DOC
+
+
+def test_invalid_max_tokens(gen):
+    with pytest.raises(ValueError):
+        make_spans(10, 0, SpanStrategy.HEAD_TAIL, gen)
+
+
+@given(
+    n_tokens=st.integers(min_value=1, max_value=5000),
+    max_tokens=st.integers(min_value=1, max_value=512),
+    strategy=st.sampled_from(list(SpanStrategy)),
+)
+def test_spans_always_within_document(n_tokens, max_tokens, strategy):
+    gen = np.random.default_rng(1)
+    spans = make_spans(n_tokens, max_tokens, strategy, gen)
+    assert spans
+    for start, end in spans:
+        assert 0 <= start < end <= n_tokens
+
+
+@given(
+    n_tokens=st.integers(min_value=1, max_value=5000),
+    max_tokens=st.integers(min_value=1, max_value=512),
+)
+def test_random_no_overlap_span_lengths(n_tokens, max_tokens):
+    gen = np.random.default_rng(2)
+    for start, end in make_spans(n_tokens, max_tokens, SpanStrategy.RANDOM_NO_OVERLAP, gen):
+        assert end - start <= max_tokens

@@ -1,0 +1,71 @@
+"""Unit tests for the attack-type taxonomy structure."""
+
+from repro.taxonomy.attack_types import (
+    PARENT_OF,
+    SUBTYPES_OF,
+    THOMAS_BASE_TAXONOMY,
+    TAXONOMY_CHANGES,
+    AttackSubtype,
+    AttackType,
+    parents_of,
+)
+
+
+def test_ten_parent_attack_types():
+    # Paper §6.1.1: 10 parent attack types.
+    assert len(AttackType) == 10
+
+
+def test_twenty_eight_subcategories_plus_generic():
+    # Paper §6.1.1: 28 subcategory attack types; GENERIC is a parent with
+    # no subcategories, modelled here as its own subtype for convenience.
+    non_generic = [s for s in AttackSubtype if s is not AttackSubtype.GENERIC]
+    assert len(non_generic) == 28
+
+
+def test_every_subtype_has_a_parent():
+    for subtype in AttackSubtype:
+        assert subtype in PARENT_OF
+        assert isinstance(PARENT_OF[subtype], AttackType)
+
+
+def test_every_parent_has_subtypes():
+    for parent in AttackType:
+        assert len(SUBTYPES_OF[parent]) >= 1
+
+
+def test_every_parent_except_generic_has_misc():
+    for parent in AttackType:
+        if parent is AttackType.GENERIC:
+            continue
+        names = [s.name for s in SUBTYPES_OF[parent]]
+        assert any("MISC" in n for n in names), parent
+
+
+def test_subtypes_of_partitions_subtypes():
+    seen = [s for parent in AttackType for s in SUBTYPES_OF[parent]]
+    assert sorted(seen, key=lambda s: s.name) == sorted(AttackSubtype, key=lambda s: s.name)
+    assert len(seen) == len(AttackSubtype)
+
+
+def test_parents_of_maps_and_dedupes():
+    parents = parents_of([AttackSubtype.MASS_FLAGGING, AttackSubtype.REPORTING_MISC])
+    assert parents == frozenset({AttackType.REPORTING})
+
+
+def test_documented_taxonomy_changes_present():
+    # The paper's §6.1 adaptations are all recorded.
+    assert any("Public Opinion" in c for c in TAXONOMY_CHANGES["added_parent"])
+    assert any("Generic" in c for c in TAXONOMY_CHANGES["added_parent"])
+    assert any("Raiding" in c for c in TAXONOMY_CHANGES["merged"])
+    assert any("Incitement" in c for c in TAXONOMY_CHANGES["removed"])
+
+
+def test_thomas_base_taxonomy_has_seven_categories():
+    assert len(THOMAS_BASE_TAXONOMY) == 7
+
+
+def test_reporting_has_mass_flagging_and_false_reporting():
+    subs = SUBTYPES_OF[AttackType.REPORTING]
+    assert AttackSubtype.MASS_FLAGGING in subs
+    assert AttackSubtype.FALSE_REPORTING_TO_AUTHORITIES in subs

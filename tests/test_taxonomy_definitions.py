@@ -1,0 +1,28 @@
+"""Tests for the long-form taxonomy definitions."""
+
+from repro.taxonomy.attack_types import AttackSubtype, AttackType
+from repro.taxonomy.definitions import DEFINITIONS, SUBTYPE_NOTES, describe
+
+
+def test_every_parent_defined():
+    assert set(DEFINITIONS) == set(AttackType)
+    for definition in DEFINITIONS.values():
+        assert definition.definition
+        assert definition.example
+
+
+def test_every_subtype_annotated():
+    assert set(SUBTYPE_NOTES) == set(AttackSubtype)
+    assert all(SUBTYPE_NOTES.values())
+
+
+def test_describe_mentions_subcategories():
+    text = describe(AttackType.REPORTING)
+    assert "Reporting" in text
+    assert "Mass Flagging" in text
+    assert "Example:" in text
+
+
+def test_describe_generic():
+    text = describe(AttackType.GENERIC)
+    assert "explicit tactic" in text

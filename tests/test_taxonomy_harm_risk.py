@@ -1,0 +1,59 @@
+"""Unit tests for the harm-risk taxonomy (paper Table 7)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.corpus.identity import PII_CATEGORIES
+from repro.taxonomy.harm_risk import HARM_RISK_PII, HarmRisk, harm_risks_for_dox
+
+
+def test_online_risk_from_social_profile():
+    assert HarmRisk.ONLINE in harm_risks_for_dox(["twitter"], False)
+    assert HarmRisk.ONLINE in harm_risks_for_dox(["facebook"], False)
+
+
+def test_physical_risk_from_address():
+    assert harm_risks_for_dox(["address"], False) == frozenset({HarmRisk.PHYSICAL})
+
+
+def test_economic_risk_from_financial_pii():
+    assert HarmRisk.ECONOMIC in harm_risks_for_dox(["ssn"], False)
+    assert HarmRisk.ECONOMIC in harm_risks_for_dox(["credit_card"], False)
+
+
+def test_email_triggers_both_online_and_economic():
+    # Table 7 lists email under both Online and Economic/Identity.
+    risks = harm_risks_for_dox(["email"], False)
+    assert risks == frozenset({HarmRisk.ONLINE, HarmRisk.ECONOMIC})
+
+
+def test_reputation_risk_is_manual_only():
+    assert harm_risks_for_dox([], True) == frozenset({HarmRisk.REPUTATION})
+    assert HARM_RISK_PII[HarmRisk.REPUTATION] == ()
+
+
+def test_no_pii_no_risk():
+    assert harm_risks_for_dox([], False) == frozenset()
+
+
+def test_all_four_possible():
+    risks = harm_risks_for_dox(["address", "ssn", "twitter"], True)
+    assert risks == frozenset(HarmRisk)
+
+
+def test_unknown_categories_ignored():
+    assert harm_risks_for_dox(["birthday", "nickname"], False) == frozenset()
+
+
+@given(st.sets(st.sampled_from(PII_CATEGORIES)))
+def test_monotone_in_pii(categories):
+    # Adding PII never removes a risk.
+    base = harm_risks_for_dox(categories, False)
+    extended = harm_risks_for_dox(set(categories) | {"address"}, False)
+    assert base - {HarmRisk.PHYSICAL} <= extended
+
+
+@given(st.sets(st.sampled_from(PII_CATEGORIES)), st.booleans())
+def test_reputation_independent_of_pii(categories, manual):
+    risks = harm_risks_for_dox(categories, manual)
+    assert (HarmRisk.REPUTATION in risks) == manual

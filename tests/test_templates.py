@@ -1,0 +1,129 @@
+"""Unit tests for text template rendering."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.identity import PersonFactory
+from repro.corpus import templates, vocab
+from repro.pipeline.seeds import matches_seed_query
+from repro.taxonomy.attack_types import AttackSubtype
+from repro.types import Gender, Platform
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(11)
+
+
+@pytest.fixture()
+def person(rng):
+    return PersonFactory(rng).make(Gender.FEMALE)
+
+
+def test_every_subtype_has_tactic_sentences():
+    for subtype in AttackSubtype:
+        assert len(templates.TACTIC_SENTENCES[subtype]) >= 2, subtype
+
+
+def test_render_cth_requires_subtypes(rng, person):
+    with pytest.raises(ValueError):
+        templates.render_cth(rng, [], person, True, Platform.BOARDS)
+
+
+def test_render_cth_uses_gendered_pronouns(rng, person):
+    for _ in range(10):
+        text = templates.render_cth(
+            rng, [AttackSubtype.MASS_FLAGGING], person, True, Platform.BOARDS
+        )
+        assert " her " in f" {text} " or "she" in text.lower()
+
+
+def test_render_cth_neutral_when_gender_hidden(rng, person):
+    for _ in range(10):
+        text = templates.render_cth(
+            rng, [AttackSubtype.MASS_FLAGGING], person, False, Platform.BOARDS
+        )
+        lowered = f" {text.lower()} "
+        assert " she " not in lowered and " he " not in lowered
+
+
+def test_render_cth_often_matches_seed_query(rng, person):
+    hits = sum(
+        matches_seed_query(
+            templates.render_cth(rng, [AttackSubtype.RAIDING], person, True, Platform.BOARDS)
+        )
+        for _ in range(50)
+    )
+    assert hits > 25
+
+
+def test_render_dox_contains_requested_pii(rng, person):
+    text = templates.render_dox(
+        rng, person, ["phone", "email"], Platform.PASTES,
+        reputation_info=False, gender_visible=False,
+    )
+    assert person.phone in text
+    assert person.email in text
+    assert person.full_name in text
+
+
+def test_render_dox_reputation_adds_employer_and_family(rng, person):
+    text = templates.render_dox(
+        rng, person, ["email"], Platform.PASTES,
+        reputation_info=True, gender_visible=False,
+    )
+    assert person.employer in text
+    assert person.family_member in text
+
+
+def test_render_dox_long_form_on_pastes(rng, person):
+    text = templates.render_dox(
+        rng, person, ["address"], Platform.PASTES,
+        reputation_info=False, gender_visible=False,
+    )
+    assert "\n" in text
+
+
+def test_render_dox_short_form_on_chat(rng, person):
+    text = templates.render_dox(
+        rng, person, ["address"], Platform.CHAT,
+        reputation_info=False, gender_visible=False, narrative=False,
+    )
+    assert "\n" not in text
+    assert " | " in text
+
+
+def test_render_benign_nonempty_all_platforms(rng):
+    for platform in Platform:
+        assert templates.render_benign(rng, platform)
+
+
+def test_hard_negative_pastes_includes_db_dumps(rng):
+    texts = [templates.render_hard_negative(rng, Platform.PASTES) for _ in range(60)]
+    assert any("INSERT INTO" in t or "dump" in t for t in texts)
+
+
+def test_hard_negative_boards_includes_tactic_mirrors(rng, person):
+    texts = [
+        templates.render_hard_negative(rng, Platform.BOARDS, person) for _ in range(80)
+    ]
+    assert any("watch" in t for t in texts)  # spamwatch/botwatch handles
+    assert any(marker.split()[0] in t for t in texts for marker in templates._FICTION_MARKERS)
+
+
+def test_tactic_mirror_is_mobilising(rng):
+    text = templates.render_tactic_mirror(rng)
+    assert matches_seed_query(text) or any(
+        opener in text for opener in vocab.MOBILIZING_OPENERS
+    )
+
+
+def test_weak_generic_cth_possible(rng, person):
+    texts = {
+        templates.render_cth(rng, [AttackSubtype.GENERIC], person, True, Platform.BOARDS)
+        for _ in range(60)
+    }
+    # Some weak one-liners appear (no mobilising opener).
+    assert any(
+        not any(op in t for op in vocab.MOBILIZING_OPENERS) for t in texts
+    )

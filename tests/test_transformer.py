@@ -1,0 +1,179 @@
+"""Unit tests for the from-scratch transformer, including gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nlp.metrics import roc_auc
+from repro.nlp.models.transformer import (
+    TransformerClassifier,
+    TransformerConfig,
+    TransformerTextClassifier,
+    gelu,
+    gelu_grad,
+)
+from repro.nlp.wordpiece import WordPieceVocab
+
+
+@pytest.fixture(scope="module")
+def small_model():
+    cfg = TransformerConfig(
+        vocab_size=60, max_len=8, d_model=8, n_heads=2, n_layers=1, d_ff=16, seed=1
+    )
+    return TransformerClassifier(cfg)
+
+
+def _loss_fn(model, ids, mask, labels):
+    logits, _ = model._forward(ids, mask)
+    logits = logits - logits.max(axis=1, keepdims=True)
+    probs = np.exp(logits)
+    probs /= probs.sum(axis=1, keepdims=True)
+    return -np.log(probs[np.arange(labels.size), labels]).mean()
+
+
+def test_gradient_check_all_parameter_kinds(small_model):
+    model = small_model
+    ids = np.array([[1, 2, 3, 4, 0, 0, 0, 0], [5, 6, 7, 0, 0, 0, 0, 0]])
+    mask = np.array([[1, 1, 1, 1, 0, 0, 0, 0], [1, 1, 1, 0, 0, 0, 0, 0]], dtype=float)
+    labels = np.array([0, 1])
+    logits, ctx = model._forward(ids, mask)
+    logits = logits - logits.max(axis=1, keepdims=True)
+    probs = np.exp(logits)
+    probs /= probs.sum(axis=1, keepdims=True)
+    dlogits = probs.copy()
+    dlogits[np.arange(2), labels] -= 1.0
+    dlogits /= 2
+    grads = model._backward(dlogits, ctx)
+    eps = 1e-6
+    for key in ("l0.wq", "l0.wk", "l0.wv", "l0.wo", "l0.w1", "l0.w2", "l0.b1",
+                "l0.ln1_g", "l0.ln2_b", "lnf_g", "pos_emb", "head_w", "head_b"):
+        param = model.params[key]
+        flat_index = min(3, param.size - 1)
+        idx = np.unravel_index(flat_index, param.shape)
+        orig = param[idx]
+        param[idx] = orig + eps
+        up = _loss_fn(model, ids, mask, labels)
+        param[idx] = orig - eps
+        down = _loss_fn(model, ids, mask, labels)
+        param[idx] = orig
+        numeric = (up - down) / (2 * eps)
+        analytic = grads[key][idx]
+        assert numeric == pytest.approx(analytic, rel=1e-4, abs=1e-7), key
+
+
+def test_gradient_check_token_embedding(small_model):
+    model = small_model
+    ids = np.array([[1, 2, 3, 0, 0, 0, 0, 0]])
+    mask = np.array([[1, 1, 1, 0, 0, 0, 0, 0]], dtype=float)
+    labels = np.array([1])
+    logits, ctx = model._forward(ids, mask)
+    logits = logits - logits.max(axis=1, keepdims=True)
+    probs = np.exp(logits) / np.exp(logits).sum(axis=1, keepdims=True)
+    dlogits = probs.copy()
+    dlogits[0, 1] -= 1.0
+    grads = model._backward(dlogits, ctx)
+    eps = 1e-6
+    param = model.params["tok_emb"]
+    idx = (2, 3)  # token id 2 is in the input
+    orig = param[idx]
+    param[idx] = orig + eps
+    up = _loss_fn(model, ids, mask, labels)
+    param[idx] = orig - eps
+    down = _loss_fn(model, ids, mask, labels)
+    param[idx] = orig
+    assert (up - down) / (2 * eps) == pytest.approx(grads["tok_emb"][idx], rel=1e-4, abs=1e-7)
+
+
+def test_config_head_divisibility():
+    with pytest.raises(ValueError):
+        TransformerConfig(vocab_size=10, d_model=10, n_heads=3)
+
+
+def test_fit_learns_toy_task():
+    cfg = TransformerConfig(
+        vocab_size=30, max_len=6, d_model=16, n_heads=2, n_layers=1, d_ff=32,
+        epochs=12, lr=5e-3, seed=0,
+    )
+    model = TransformerClassifier(cfg)
+    rng = np.random.default_rng(0)
+    # Class 1 sequences contain token 7; class 0 never does.
+    seqs, labels = [], []
+    for _ in range(160):
+        label = int(rng.random() < 0.5)
+        seq = rng.integers(8, 30, size=5).tolist()
+        if label:
+            seq[int(rng.integers(0, 5))] = 7
+        seqs.append(seq)
+        labels.append(label)
+    labels = np.array(labels)
+    model.fit_ids(seqs, labels)
+    probs = model.predict_proba_ids(seqs)
+    assert roc_auc(labels.astype(bool), probs) > 0.95
+
+
+def test_mlm_pretraining_reduces_loss():
+    cfg = TransformerConfig(
+        vocab_size=40, max_len=8, d_model=16, n_heads=2, n_layers=1, d_ff=32,
+        epochs=2, seed=2,
+    )
+    model = TransformerClassifier(cfg)
+    rng = np.random.default_rng(1)
+    # Strongly patterned sequences: ABABAB with small vocab.
+    seqs = [[4, 5, 4, 5, 4, 5] for _ in range(120)]
+    losses = model.pretrain_mlm(seqs, mask_token_id=3, epochs=4)
+    assert losses[-1] < losses[0]
+
+
+def test_mlm_invalid_mask_prob():
+    cfg = TransformerConfig(vocab_size=10, max_len=4, d_model=8, n_heads=2, n_layers=1)
+    model = TransformerClassifier(cfg)
+    with pytest.raises(ValueError):
+        model.pretrain_mlm([[1, 2]], mask_token_id=3, mask_prob=1.5)
+
+
+def test_fit_ids_validation():
+    cfg = TransformerConfig(vocab_size=10, max_len=4, d_model=8, n_heads=2, n_layers=1)
+    model = TransformerClassifier(cfg)
+    with pytest.raises(ValueError):
+        model.fit_ids([[1, 2]], np.array([0, 1]))
+    with pytest.raises(ValueError):
+        model.fit_ids([], np.array([], dtype=int))
+
+
+def test_text_adapter_roundtrip():
+    texts = ["we should report him"] * 40 + ["nice weather today"] * 40
+    labels = np.array([True] * 40 + [False] * 40)
+    vocab = WordPieceVocab.train(texts, vocab_size=100)
+    cfg = TransformerConfig(vocab_size=len(vocab), max_len=12, d_model=16,
+                            n_heads=2, n_layers=1, d_ff=32, epochs=6, seed=1)
+    clf = TransformerTextClassifier(vocab, cfg)
+    clf.fit_texts(texts, labels)
+    probs = clf.predict_proba_texts(texts)
+    assert roc_auc(labels, probs) > 0.95
+
+
+def test_text_adapter_vocab_mismatch():
+    vocab = WordPieceVocab.train(["abc def"], vocab_size=64)
+    with pytest.raises(ValueError):
+        TransformerTextClassifier(vocab, TransformerConfig(vocab_size=999))
+
+
+def test_gelu_grad_matches_numeric():
+    x = np.linspace(-3, 3, 13)
+    eps = 1e-6
+    numeric = (gelu(x + eps) - gelu(x - eps)) / (2 * eps)
+    np.testing.assert_allclose(gelu_grad(x), numeric, rtol=1e-5, atol=1e-7)
+
+
+def test_padding_is_ignored():
+    cfg = TransformerConfig(vocab_size=20, max_len=8, d_model=8, n_heads=2, n_layers=1, seed=4)
+    model = TransformerClassifier(cfg)
+    short = model.predict_proba_ids([[1, 2, 3]])
+    padded = model.predict_proba_ids([[1, 2, 3, 0, 0]])
+    # Token id 0 is PAD only via the mask; explicit zeros inside the
+    # sequence are real tokens, so compare the mask path instead:
+    ids_a = np.array([[1, 2, 3, 0, 0, 0, 0, 0]])
+    mask_a = np.array([[1, 1, 1, 0, 0, 0, 0, 0]], dtype=float)
+    ids_b = np.array([[1, 2, 3, 9, 9, 9, 9, 9]])
+    logits_a, _ = model._forward(ids_a, mask_a)
+    logits_b, _ = model._forward(ids_b, mask_a)
+    np.testing.assert_allclose(logits_a, logits_b, atol=1e-10)

@@ -1,0 +1,50 @@
+"""Unit tests for the table renderer."""
+
+import pytest
+
+from repro.util.tables import format_percent_count, format_table
+
+
+def test_basic_alignment():
+    out = format_table(["Name", "N"], [("alpha", 5), ("b", 12345)])
+    lines = out.splitlines()
+    assert lines[0].startswith("Name")
+    assert "12,345" in out
+    # All rows have equal width.
+    assert len({len(line) for line in lines}) == 1
+
+
+def test_title_prepended():
+    out = format_table(["A"], [("x",)], title="My title")
+    assert out.splitlines()[0] == "My title"
+
+
+def test_row_width_mismatch_raises():
+    with pytest.raises(ValueError):
+        format_table(["A", "B"], [("only-one",)])
+
+
+def test_empty_rows_ok():
+    out = format_table(["A", "B"], [])
+    assert "A" in out and "B" in out
+
+
+def test_float_formatting():
+    out = format_table(["A", "v"], [("x", 0.123456)])
+    assert "0.1235" in out
+
+
+def test_format_percent_count():
+    assert format_percent_count(5, 20) == "25.00% (5)"
+    assert format_percent_count(1496, 6254).endswith("(1,496)")
+
+
+def test_format_percent_count_zero_total():
+    assert format_percent_count(3, 0) == "0.00% (3)"
+
+
+def test_right_alignment_of_numbers():
+    out = format_table(["A", "N"], [("x", 1), ("y", 100)])
+    rows = out.splitlines()[2:]
+    assert rows[0].endswith("  1")
+    assert rows[1].endswith("100")

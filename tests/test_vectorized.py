@@ -1,0 +1,91 @@
+"""Unit tests for the shared vectorization layer (TaskView)."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.documents import Document, GroundTruth
+from repro.nlp.spans import SpanStrategy
+from repro.pipeline.vectorized import VectorizedCorpus
+from repro.types import Platform, Source
+
+
+def _docs(texts):
+    return [
+        Document(
+            doc_id=i, platform=Platform.GAB, source=Source.GAB, domain="g",
+            text=t, timestamp=float(i), author="a",
+        )
+        for i, t in enumerate(texts)
+    ]
+
+
+@pytest.fixture()
+def vc():
+    texts = ["short text here"] * 5 + ["word " * 500] * 3
+    return VectorizedCorpus(_docs(texts), seed=1)
+
+
+def test_short_docs_single_span(vc):
+    view = vc.task_view(32, SpanStrategy.RANDOM_NO_OVERLAP)
+    short_rows = np.sum(view.span_doc < 5)
+    assert short_rows == 5
+
+
+def test_long_docs_multiple_spans(vc):
+    view = vc.task_view(32, SpanStrategy.RANDOM_NO_OVERLAP)
+    long_rows = np.sum(view.span_doc >= 5)
+    assert long_rows > 3  # more than one span per long doc
+
+
+def test_view_cached(vc):
+    a = vc.task_view(32, SpanStrategy.RANDOM_NO_OVERLAP)
+    b = vc.task_view(32, SpanStrategy.RANDOM_NO_OVERLAP)
+    assert a is b
+    vc.drop_view(32, SpanStrategy.RANDOM_NO_OVERLAP)
+    c = vc.task_view(32, SpanStrategy.RANDOM_NO_OVERLAP)
+    assert c is not a
+
+
+def test_doc_scores_average(vc):
+    view = vc.task_view(32, SpanStrategy.RANDOM_NO_OVERLAP)
+    span_scores = np.ones(view.matrix.shape[0])
+    doc_scores = view.doc_scores(span_scores)
+    np.testing.assert_allclose(doc_scores, 1.0)
+    assert doc_scores.shape == (8,)
+
+
+def test_doc_scores_weighted_correctly(vc):
+    view = vc.task_view(32, SpanStrategy.RANDOM_NO_OVERLAP)
+    span_scores = view.span_doc.astype(float)  # score = owning doc index
+    doc_scores = view.doc_scores(span_scores)
+    np.testing.assert_allclose(doc_scores, np.arange(8, dtype=float))
+
+
+def test_rows_for_docs_alignment(vc):
+    view = vc.task_view(32, SpanStrategy.RANDOM_NO_OVERLAP)
+    rows, owner = view.rows_for_docs([6, 2])
+    assert rows.shape[0] == owner.size
+    # owner indexes into the *given* positions: 0 -> doc 6, 1 -> doc 2.
+    assert set(owner.tolist()) == {0, 1}
+    n_doc6 = int(np.sum(view.span_doc == 6))
+    assert int(np.sum(owner == 0)) == n_doc6
+
+
+def test_compact_dtypes(vc):
+    view = vc.task_view(32, SpanStrategy.RANDOM_NO_OVERLAP)
+    assert view.matrix.data.dtype == np.float32
+    assert view.matrix.indices.dtype == np.int32
+
+
+def test_deterministic_views():
+    texts = ["word " * 300, "short"]
+    a = VectorizedCorpus(_docs(texts), seed=3).task_view(16, SpanStrategy.RANDOM_NO_OVERLAP)
+    b = VectorizedCorpus(_docs(texts), seed=3).task_view(16, SpanStrategy.RANDOM_NO_OVERLAP)
+    assert (a.matrix != b.matrix).nnz == 0
+    np.testing.assert_array_equal(a.span_doc, b.span_doc)
+
+
+def test_strategies_produce_distinct_views(vc):
+    random_view = vc.task_view(32, SpanStrategy.RANDOM_NO_OVERLAP)
+    head_tail = vc.task_view(32, SpanStrategy.HEAD_TAIL)
+    assert head_tail is not random_view

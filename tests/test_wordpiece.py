@@ -1,0 +1,88 @@
+"""Unit and property tests for the trainable WordPiece vocabulary."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp.wordpiece import CLS, MASK, PAD, SPECIALS, UNK, WordPieceVocab
+
+
+@pytest.fixture(scope="module")
+def vocab():
+    texts = [
+        "we should mass report his account until the platform bans him",
+        "lovely weather and sourdough today friends",
+        "reporting reported reports reporter",
+    ] * 10
+    return WordPieceVocab.train(texts, vocab_size=200)
+
+
+def test_specials_present(vocab):
+    assert vocab.piece(vocab.pad_id) == PAD
+    assert vocab.piece(vocab.unk_id) == UNK
+    assert vocab.piece(vocab.cls_id) == CLS
+    assert vocab.piece(vocab.mask_id) == MASK
+
+
+def test_encode_starts_with_cls(vocab):
+    ids = vocab.encode("report him")
+    assert ids[0] == vocab.cls_id
+
+
+def test_encode_respects_max_tokens(vocab):
+    ids = vocab.encode("report " * 100, max_tokens=16)
+    assert len(ids) == 16
+
+
+def test_common_word_single_piece(vocab):
+    # "report" appears often; BPE should have merged it into one piece.
+    ids = vocab.encode("report")
+    assert len(ids) == 2  # [CLS] + one piece
+
+
+def test_unknown_characters_map_to_unk(vocab):
+    ids = vocab.encode("日本語")
+    assert vocab.unk_id in ids
+
+
+def test_decode_pieces_reconstruct_word(vocab):
+    ids = vocab.encode("reporting")[1:]
+    pieces = [vocab.piece(i) for i in ids]
+    rebuilt = pieces[0] + "".join(p.removeprefix("##") for p in pieces[1:])
+    assert rebuilt == "reporting"
+
+
+def test_vocab_size_limit():
+    vocab = WordPieceVocab.train(["aa ab ba bb"] * 5, vocab_size=64)
+    assert len(vocab) <= 64
+
+
+def test_duplicate_tokens_rejected():
+    with pytest.raises(ValueError):
+        WordPieceVocab(list(SPECIALS) + ["a", "a"])
+
+
+def test_missing_specials_rejected():
+    with pytest.raises(ValueError):
+        WordPieceVocab(["a", "b", "c"])
+
+
+def test_tiny_vocab_size_rejected():
+    with pytest.raises(ValueError):
+        WordPieceVocab.train(["abc"], vocab_size=10)
+
+
+@given(st.text(alphabet="abcdefghij ", min_size=1, max_size=60))
+@settings(max_examples=60)
+def test_encoding_total_coverage(vocab, text):
+    """Every encoded word is either fully segmented or UNK — encoding never
+    drops or duplicates characters silently."""
+    from repro.nlp.tokenize import tokenize
+
+    for word in tokenize(text):
+        ids = vocab._encode_word(word)
+        if vocab.unk_id in ids:
+            continue
+        pieces = [vocab.piece(i) for i in ids]
+        rebuilt = pieces[0] + "".join(p.removeprefix("##") for p in pieces[1:])
+        assert rebuilt == word
