@@ -1,12 +1,25 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench bench-tiny experiments examples clean
+.PHONY: install test lint bench bench-tiny study cache-clean experiments examples clean
+
+CACHE_DIR ?= .study-cache
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+lint:
+	ruff check src tests
+
+# Run the study on the staged execution engine; warm re-runs execute
+# zero stages.  Scale/parallelism: make study ARGS="--full --jobs 8".
+study:
+	PYTHONPATH=src python -m repro.cli study --tiny --cache-dir $(CACHE_DIR) $(ARGS)
+
+cache-clean:
+	rm -rf $(CACHE_DIR) benchmarks/.study-cache
 
 bench:
 	pytest benchmarks/ --benchmark-only

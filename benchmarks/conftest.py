@@ -1,7 +1,12 @@
 """Benchmark fixtures: one full-scale study shared across every bench.
 
 The study (synthetic corpus + both pipelines) takes ~2 minutes to build at
-the default scale and is reused by every benchmark.  Set
+the default scale and is reused by every benchmark.  Stage artifacts are
+checkpointed through the staged execution engine into
+``benchmarks/.study-cache`` so repeated bench invocations with an
+unchanged config re-run zero pipeline stages (delete the directory or
+run ``make cache-clean`` to force a rebuild; set
+``REPRO_BENCH_NO_CACHE=1`` to bypass the cache entirely).  Set
 ``REPRO_BENCH_TINY=1`` to run the whole bench suite at test scale in
 seconds (useful while developing).
 
@@ -21,6 +26,7 @@ from repro.analysis.blogs import blog_analysis
 from repro.lab import StudyConfig, run_study
 
 REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+CACHE_DIR = pathlib.Path(__file__).parent / ".study-cache"
 
 
 def _bench_config() -> StudyConfig:
@@ -31,7 +37,9 @@ def _bench_config() -> StudyConfig:
 
 @pytest.fixture(scope="session")
 def study():
-    return run_study(_bench_config())
+    if os.environ.get("REPRO_BENCH_NO_CACHE"):
+        return run_study(_bench_config())
+    return run_study(_bench_config(), cache_dir=str(CACHE_DIR))
 
 
 @pytest.fixture(scope="session")

@@ -36,8 +36,8 @@ class CrowdsourceResult:
     first: np.ndarray  # first annotator's labels
     second: np.ndarray  # second annotator's labels
     n_tiebreaks: int
-    n_removed_annotators: int
-    n_qualification_failures: int
+    n_removed_annotators: int  # removals during this batch only
+    n_qualification_failures: int  # failed recruitments during this batch only
 
     @property
     def disagreement_rate(self) -> float:
@@ -60,6 +60,16 @@ class CrowdsourcingService:
         self._qualification_failures = 0
         self._removed = 0
         self._pool: list[_Worker] = []
+
+    @property
+    def n_removed_annotators(self) -> int:
+        """Annotators removed over this service's lifetime (all batches)."""
+        return self._removed
+
+    @property
+    def n_qualification_failures(self) -> int:
+        """Failed qualification attempts over this service's lifetime."""
+        return self._qualification_failures
 
     def _recruit(self) -> "_Worker":
         """Recruit workers until one passes the qualification test."""
@@ -88,6 +98,7 @@ class CrowdsourcingService:
         final = np.empty(n, dtype=bool)
         tiebreaks = 0
         removed_before = self._removed
+        failures_before = self._qualification_failures
         for i, truth in enumerate(truths):
             a = self._worker(0)
             b = self._worker(1)
@@ -110,7 +121,7 @@ class CrowdsourcingService:
             second=second,
             n_tiebreaks=tiebreaks,
             n_removed_annotators=self._removed - removed_before,
-            n_qualification_failures=self._qualification_failures,
+            n_qualification_failures=self._qualification_failures - failures_before,
         )
 
 

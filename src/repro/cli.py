@@ -4,14 +4,21 @@ Subcommands::
 
     repro generate  --out corpus.jsonl [--tiny/--full] [--seed N]
     repro run       [--tiny/--full] [--seed N] [--report-dir DIR]
+    repro study     [--tiny/--full] [--seed N] [--cache-dir DIR]
+                    [--jobs N] [--force] [--report-dir DIR]
+    repro cache     ls|clear --cache-dir DIR
     repro train     --corpus corpus.jsonl --task dox|cth --out model.npz
     repro score     --model model.npz [--text "..."] [--file posts.txt]
     repro assess    --text "..."      (taxonomy coding + PII + harm risks)
 
 ``generate`` writes a synthetic corpus as JSONL; ``run`` executes the full
-study and prints the paper-vs-measured reports; ``train``/``score`` cover
-the deployment loop the paper's §3 release intent describes; ``assess``
-runs the rule-based analysis layers on a single text.
+study and prints the paper-vs-measured reports; ``study`` runs the same
+study on the staged execution engine — per-stage checkpointing to
+``--cache-dir``, a stage thread pool via ``--jobs``, and a wall-time /
+cache-hit summary table; ``cache`` inspects or empties a stage cache;
+``train``/``score`` cover the deployment loop the paper's §3 release
+intent describes; ``assess`` runs the rule-based analysis layers on a
+single text.
 """
 
 from __future__ import annotations
@@ -31,9 +38,16 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _study_config(args):
+    from repro.corpus.generator import CorpusConfig
     from repro.lab import StudyConfig
+    from repro.pipeline.filtering import PipelineConfig
 
-    return StudyConfig(seed=args.seed) if args.full else StudyConfig.tiny(args.seed)
+    if args.full:
+        return StudyConfig(
+            corpus=CorpusConfig(seed=args.seed),
+            pipeline=PipelineConfig(seed=args.seed),
+        )
+    return StudyConfig.tiny(args.seed)
 
 
 def cmd_generate(args) -> int:
@@ -81,6 +95,74 @@ def cmd_run(args) -> int:
             (directory / f"{name}.txt").write_text(content + "\n")
         print(f"{len(reports)} reports written to {args.report_dir}")
     return 0
+
+
+def cmd_study(args) -> int:
+    from repro.lab import run_study
+    from repro.reporting.tables import render_table3, render_table4
+
+    study = run_study(
+        _study_config(args),
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        force=args.force,
+    )
+    report = study.run_report
+    print(report.render())
+    print()
+    print(
+        f"stages: {report.n_executed} executed, {report.n_cache_hits} cache hits, "
+        f"{report.total_seconds:.2f}s stage time"
+    )
+    print()
+    print(render_table3(study.results))
+    print()
+    print(render_table4(study.results))
+    if args.report_dir:
+        directory = pathlib.Path(args.report_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "stage_summary.txt").write_text(report.render() + "\n")
+        (directory / "table3.txt").write_text(render_table3(study.results) + "\n")
+        (directory / "table4.txt").write_text(render_table4(study.results) + "\n")
+        print(f"\n3 reports written to {args.report_dir}")
+    return 0
+
+
+def cmd_cache(args) -> int:
+    import time
+
+    from repro.engine import ArtifactStore
+    from repro.util.tables import format_table
+
+    store = ArtifactStore(args.cache_dir)
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached artifacts from {args.cache_dir}")
+        return 0
+    entries = store.entries()
+    if not entries:
+        print(f"cache at {args.cache_dir} is empty")
+        return 0
+    rows = [
+        (
+            e.stage,
+            e.key[:12],
+            f"{e.n_bytes:,}",
+            time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(e.modified)),
+        )
+        for e in entries
+    ]
+    print(format_table(("stage", "key", "bytes", "modified"), rows))
+    total = sum(e.n_bytes for e in entries)
+    print(f"\n{len(entries)} artifacts, {total:,} bytes")
+    return 0
+
+
+def _parse_jobs(value: str) -> int:
+    jobs = int(value)
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(f"--jobs must be >= 1, got {jobs}")
+    return jobs
 
 
 def _parse_task(value: str):
@@ -187,6 +269,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="generate the complete report bundle (every table/figure)",
     )
     p_run.set_defaults(func=cmd_run)
+
+    p_study = sub.add_parser(
+        "study", help="run the study on the staged execution engine"
+    )
+    _add_scale_args(p_study)
+    p_study.add_argument(
+        "--cache-dir", default=None,
+        help="checkpoint stage artifacts here; a warm re-run executes zero stages",
+    )
+    p_study.add_argument(
+        "--jobs", type=_parse_jobs, default=1,
+        help="stage thread pool size (independent stages run concurrently)",
+    )
+    p_study.add_argument(
+        "--force", action="store_true",
+        help="re-run every stage even when its artifact is cached",
+    )
+    p_study.add_argument("--report-dir", default=None)
+    p_study.set_defaults(func=cmd_study)
+
+    p_cache = sub.add_parser("cache", help="inspect or empty a stage cache")
+    p_cache.add_argument("action", choices=("ls", "clear"))
+    p_cache.add_argument("--cache-dir", required=True)
+    p_cache.set_defaults(func=cmd_cache)
 
     p_train = sub.add_parser("train", help="train a filter model from a JSONL corpus")
     p_train.add_argument("--corpus", required=True)

@@ -1,0 +1,56 @@
+"""Staged execution engine: cacheable, parallelizable pipeline stages.
+
+The paper's Fig.-1 pipeline filtered 560M+ posts through seed → train →
+active-learning → threshold → expert-annotation stages; at that scale
+every stage is a separately checkpointed, re-runnable job.  This package
+provides the execution substrate for the reproduction's equivalent:
+content-hashed cache keys (:mod:`repro.engine.keys`), a disk-backed
+artifact store with per-type codecs (:mod:`repro.engine.store`), and a
+demand-driven scheduler with per-stage observability
+(:mod:`repro.engine.core`).
+"""
+
+from repro.engine.core import (
+    STATUS_HIT,
+    STATUS_RUN,
+    Engine,
+    RunOutcome,
+    RunReport,
+    Stage,
+    StageRecord,
+)
+from repro.engine.keys import canonicalize, fingerprint
+from repro.engine.store import (
+    CORPUS,
+    FILTER_MODEL,
+    NUMPY,
+    PICKLE,
+    ArtifactEntry,
+    ArtifactStore,
+    CorpusCodec,
+    FilterModelCodec,
+    NumpyCodec,
+    PickleCodec,
+)
+
+__all__ = [
+    "Engine",
+    "RunOutcome",
+    "RunReport",
+    "Stage",
+    "StageRecord",
+    "STATUS_RUN",
+    "STATUS_HIT",
+    "canonicalize",
+    "fingerprint",
+    "ArtifactEntry",
+    "ArtifactStore",
+    "CorpusCodec",
+    "FilterModelCodec",
+    "NumpyCodec",
+    "PickleCodec",
+    "CORPUS",
+    "FILTER_MODEL",
+    "NUMPY",
+    "PICKLE",
+]

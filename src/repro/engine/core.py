@@ -1,0 +1,285 @@
+"""The staged execution engine.
+
+An :class:`Engine` holds a DAG of named stages.  Each stage declares its
+input stages, its cache-key material (configs, seeds, loop indices), and
+a codec for its output artifact.  ``run(targets)`` then:
+
+1. plans demand-driven: walking down from the targets, a stage whose
+   artifact is already cached becomes a leaf — its inputs are neither
+   loaded nor computed (so a warm study re-run executes zero stages);
+2. executes the plan, on a thread pool when ``jobs > 1`` (the hot paths
+   are numpy and release the GIL; independent stages such as the DOX and
+   CTH pipelines, or per-source threshold searches, run concurrently);
+3. records per-stage wall time and cache hit/miss status into a
+   :class:`RunReport` whose summary table shows where pipeline time goes.
+
+Because stage keys chain through their inputs' keys, results are
+identical with caching on or off, and with ``jobs=1`` or ``jobs=N`` —
+every stage is a pure function of its inputs plus named RNG streams.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from typing import Callable, Mapping, Sequence
+
+from repro.engine.keys import fingerprint
+from repro.engine.store import PICKLE, ArtifactStore, Codec
+from repro.util.tables import format_table
+
+#: Stage completion statuses recorded in the run report.
+STATUS_RUN = "run"  # executed (cache miss or caching off)
+STATUS_HIT = "hit"  # artifact loaded from the store
+
+
+@dataclasses.dataclass(frozen=True)
+class Stage:
+    """One node of the execution graph."""
+
+    name: str
+    fn: Callable[..., object]
+    inputs: tuple[str, ...] = ()
+    key_parts: tuple[object, ...] = ()
+    codec: Codec = PICKLE
+    cacheable: bool = True
+
+
+@dataclasses.dataclass(frozen=True)
+class StageRecord:
+    """How one stage resolved during a run."""
+
+    name: str
+    status: str
+    seconds: float
+    key: str
+
+
+@dataclasses.dataclass(frozen=True)
+class RunReport:
+    """Per-stage timings and cache counters for one ``Engine.run``."""
+
+    records: tuple[StageRecord, ...]
+
+    @property
+    def n_executed(self) -> int:
+        return sum(1 for r in self.records if r.status == STATUS_RUN)
+
+    @property
+    def n_cache_hits(self) -> int:
+        return sum(1 for r in self.records if r.status == STATUS_HIT)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.seconds for r in self.records)
+
+    def record(self, name: str) -> StageRecord:
+        for record in self.records:
+            if record.name == name:
+                return record
+        raise KeyError(name)
+
+    def render(self) -> str:
+        rows = [
+            (r.name, r.status, f"{r.seconds:.3f}", r.key[:12])
+            for r in self.records
+        ]
+        rows.append((
+            f"total ({self.n_executed} run / {self.n_cache_hits} hit)",
+            "", f"{self.total_seconds:.3f}", "",
+        ))
+        return format_table(("stage", "status", "seconds", "key"), rows)
+
+
+@dataclasses.dataclass(frozen=True)
+class RunOutcome:
+    """Resolved values for the demanded stages, plus the report."""
+
+    values: Mapping[str, object]
+    report: RunReport
+
+    def __getitem__(self, name: str) -> object:
+        return self.values[name]
+
+
+class Engine:
+    """Registers stages and runs the demanded subgraph."""
+
+    def __init__(
+        self,
+        store: ArtifactStore | None = None,
+        jobs: int = 1,
+        force: bool = False,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.store = store
+        self.jobs = jobs
+        self.force = force
+        self._stages: dict[str, Stage] = {}
+        self._keys: dict[str, str] = {}
+
+    # -- graph construction --------------------------------------------------
+
+    def add(
+        self,
+        name: str,
+        fn: Callable[..., object],
+        inputs: Sequence[str] = (),
+        key: Sequence[object] = (),
+        codec: Codec | None = None,
+        cacheable: bool = True,
+    ) -> str:
+        """Register a stage; returns its name for wiring downstream stages.
+
+        ``fn`` receives the resolved input values positionally, in the
+        declared order.  Inputs must already be registered, which keeps
+        the graph acyclic by construction.
+        """
+        if name in self._stages:
+            raise ValueError(f"stage {name!r} is already registered")
+        for dep in inputs:
+            if dep not in self._stages:
+                raise KeyError(f"stage {name!r} depends on unknown stage {dep!r}")
+        self._stages[name] = Stage(
+            name=name,
+            fn=fn,
+            inputs=tuple(inputs),
+            key_parts=tuple(key),
+            codec=codec or PICKLE,
+            cacheable=cacheable,
+        )
+        return name
+
+    def add_source(self, name: str, value: object) -> str:
+        """Register a pre-computed value (never cached to disk)."""
+        return self.add(name, lambda: value, cacheable=False)
+
+    def key_of(self, name: str) -> str:
+        """The stage's deterministic cache key (chains through inputs)."""
+        cached = self._keys.get(name)
+        if cached is not None:
+            return cached
+        stage = self._stages[name]
+        key = fingerprint(
+            stage.name,
+            stage.key_parts,
+            tuple(self.key_of(dep) for dep in stage.inputs),
+        )
+        self._keys[name] = key
+        return key
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, targets: Sequence[str]) -> RunOutcome:
+        """Resolve ``targets``, loading cached stages and running the rest."""
+        plan: dict[str, str] = {}  # name -> STATUS_RUN | STATUS_HIT
+        order: list[str] = []  # topological (inputs before consumers)
+
+        def visit(name: str) -> None:
+            if name in plan:
+                return
+            stage = self._stages[name]  # KeyError on unknown target
+            if (
+                stage.cacheable
+                and self.store is not None
+                and not self.force
+                and self.store.has(name, self.key_of(name), stage.codec.extension)
+            ):
+                plan[name] = STATUS_HIT
+                order.append(name)
+                return
+            plan[name] = STATUS_RUN
+            for dep in stage.inputs:
+                visit(dep)
+            order.append(name)
+
+        for target in targets:
+            visit(target)
+
+        values: dict[str, object] = {}
+        records: dict[str, StageRecord] = {}
+        if self.jobs == 1 or len(order) <= 1:
+            for name in order:
+                values[name], records[name] = self._resolve(name, plan[name], values)
+        else:
+            self._run_parallel(order, plan, values, records)
+        report = RunReport(records=tuple(records[name] for name in order))
+        return RunOutcome(values=values, report=report)
+
+    def _resolve(
+        self, name: str, status: str, values: Mapping[str, object]
+    ) -> tuple[object, StageRecord]:
+        stage = self._stages[name]
+        key = self.key_of(name)
+        started = time.perf_counter()
+        if status == STATUS_HIT:
+            try:
+                value = self.store.load(name, key, stage.codec)
+            except Exception as exc:
+                path = self.store.path_for(name, key, stage.codec.extension)
+                raise RuntimeError(
+                    f"cached artifact for stage '{name}' is unreadable "
+                    f"({path}): {exc}; clear the cache or re-run with force"
+                ) from exc
+        else:
+            value = stage.fn(*(values[dep] for dep in stage.inputs))
+            if stage.cacheable and self.store is not None:
+                self.store.save(name, key, stage.codec, value)
+        elapsed = time.perf_counter() - started
+        return value, StageRecord(name=name, status=status, seconds=elapsed, key=key)
+
+    def _run_parallel(
+        self,
+        order: Sequence[str],
+        plan: Mapping[str, str],
+        values: dict[str, object],
+        records: dict[str, StageRecord],
+    ) -> None:
+        # Cache hits have no scheduling dependencies: their inputs are
+        # pruned from the plan entirely.
+        waiting_on = {
+            name: (
+                {dep for dep in self._stages[name].inputs if dep in plan}
+                if plan[name] == STATUS_RUN
+                else set()
+            )
+            for name in order
+        }
+        lock = threading.Lock()  # guards `values` across worker threads
+        pending = list(order)
+        running: dict[Future, str] = {}
+        failure: BaseException | None = None
+
+        def resolve(name: str) -> tuple[object, StageRecord]:
+            with lock:
+                snapshot = dict(values)
+            return self._resolve(name, plan[name], snapshot)
+
+        with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+            while pending or running:
+                if failure is None:
+                    ready = [n for n in pending if not waiting_on[n]]
+                    for name in ready:
+                        pending.remove(name)
+                        running[pool.submit(resolve, name)] = name
+                if not running:
+                    break
+                done, _ = wait(running, return_when=FIRST_COMPLETED)
+                for future in done:
+                    name = running.pop(future)
+                    try:
+                        value, record = future.result()
+                    except BaseException as exc:  # noqa: BLE001 - reraised below
+                        if failure is None:
+                            failure = exc
+                        continue
+                    with lock:
+                        values[name] = value
+                    records[name] = record
+                    for other in waiting_on.values():
+                        other.discard(name)
+        if failure is not None:
+            raise failure

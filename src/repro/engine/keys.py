@@ -1,0 +1,60 @@
+"""Deterministic cache keys derived from configuration content.
+
+A stage's cache key is a content hash of everything that can change its
+output: the stage name, its declared key material (configs, seeds, loop
+indices), and — transitively — the keys of its input stages.  Hashing
+canonicalized *content* rather than object identity means a key survives
+process restarts and library imports, and changing any upstream knob
+invalidates exactly the stages downstream of it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+from typing import Mapping
+
+
+def canonicalize(value: object) -> object:
+    """Reduce ``value`` to a deterministic, order-independent structure.
+
+    Supports the configuration vocabulary of the reproduction: dataclasses
+    (by field name), enums (by class and member name), mappings (sorted by
+    canonicalized key), sequences, sets, and JSON-ish scalars.  Floats go
+    through ``float.hex`` so equal values hash equally without repr noise.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = tuple(
+            (f.name, canonicalize(getattr(value, f.name)))
+            for f in dataclasses.fields(value)
+        )
+        return ("dataclass", type(value).__qualname__, fields)
+    if isinstance(value, enum.Enum):
+        return ("enum", type(value).__qualname__, value.name)
+    if isinstance(value, Mapping):
+        items = tuple(
+            sorted((repr(canonicalize(k)), canonicalize(v)) for k, v in value.items())
+        )
+        return ("mapping", items)
+    if isinstance(value, (list, tuple)):
+        return ("sequence", tuple(canonicalize(v) for v in value))
+    if isinstance(value, (set, frozenset)):
+        return ("set", tuple(sorted(repr(canonicalize(v)) for v in value)))
+    if isinstance(value, float):
+        return ("float", value.hex())
+    if value is None or isinstance(value, (bool, int, str, bytes)):
+        return (type(value).__name__, value)
+    raise TypeError(
+        f"cannot derive a cache key from {type(value).__name__!r}; "
+        "stage key material must be configs, enums, scalars, or containers of those"
+    )
+
+
+def fingerprint(*parts: object) -> str:
+    """Return a 32-hex-character content hash of ``parts``."""
+    digest = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        digest.update(repr(canonicalize(part)).encode("utf-8"))
+        digest.update(b"\x1f")
+    return digest.hexdigest()

@@ -1,0 +1,178 @@
+"""Disk-backed artifact store for stage outputs.
+
+Artifacts live flat under one cache directory, named
+``<stage>-<key>.<ext>`` where ``<key>`` is the stage's 32-hex content
+key — so a config change produces new files rather than overwriting old
+ones, and ``repro cache ls`` can attribute every file to its stage.
+
+Each stage picks a codec matching its payload: corpora round-trip as
+JSONL through :mod:`repro.corpus.io`, trained filter models as ``.npz``
+through :mod:`repro.nlp.serialize`, numpy score vectors as ``.npy``, and
+everything else (label states, result containers) as pickles.  Writes go
+through a temp file + ``os.replace`` so a crashed run never leaves a
+truncated artifact behind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pathlib
+import pickle
+import re
+import threading
+from typing import Iterable, Protocol
+
+import numpy as np
+
+
+class Codec(Protocol):
+    """Serialization strategy for one artifact type."""
+
+    extension: str
+
+    def save(self, value: object, path: pathlib.Path) -> None: ...
+
+    def load(self, path: pathlib.Path) -> object: ...
+
+
+class PickleCodec:
+    extension = ".pkl"
+
+    def save(self, value: object, path: pathlib.Path) -> None:
+        with path.open("wb") as handle:
+            pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def load(self, path: pathlib.Path) -> object:
+        with path.open("rb") as handle:
+            return pickle.load(handle)
+
+
+class NumpyCodec:
+    extension = ".npy"
+
+    def save(self, value: object, path: pathlib.Path) -> None:
+        with path.open("wb") as handle:
+            np.save(handle, np.asarray(value), allow_pickle=False)
+
+    def load(self, path: pathlib.Path) -> object:
+        with path.open("rb") as handle:
+            return np.load(handle, allow_pickle=False)
+
+
+class CorpusCodec:
+    """Documents as JSONL via :mod:`repro.corpus.io` (ground truth intact)."""
+
+    extension = ".jsonl"
+
+    def save(self, value: object, path: pathlib.Path) -> None:
+        from repro.corpus.io import write_jsonl
+
+        write_jsonl(value, path)
+
+    def load(self, path: pathlib.Path) -> object:
+        from repro.corpus.io import read_corpus
+
+        return read_corpus(path)
+
+
+class FilterModelCodec:
+    """A ``(classifier, vectorizer)`` pair via :mod:`repro.nlp.serialize`."""
+
+    extension = ".npz"
+
+    def save(self, value: object, path: pathlib.Path) -> None:
+        from repro.nlp.serialize import save_filter_model
+
+        model, vectorizer = value
+        save_filter_model(path, model, vectorizer)
+
+    def load(self, path: pathlib.Path) -> object:
+        from repro.nlp.serialize import load_filter_model
+
+        model, vectorizer, _metadata = load_filter_model(path)
+        return model, vectorizer
+
+
+#: Shared codec instances (all are stateless).
+PICKLE = PickleCodec()
+NUMPY = NumpyCodec()
+CORPUS = CorpusCodec()
+FILTER_MODEL = FilterModelCodec()
+
+_FILENAME_RE = re.compile(r"^(?P<stage>.+)-(?P<key>[0-9a-f]{32})(?P<ext>\.[a-z]+)$")
+
+
+def _sanitize(stage: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_.-]", "_", stage)
+
+
+@dataclasses.dataclass(frozen=True)
+class ArtifactEntry:
+    """One cached artifact on disk (for ``repro cache ls``)."""
+
+    stage: str
+    key: str
+    path: pathlib.Path
+    n_bytes: int
+    modified: float
+
+
+class ArtifactStore:
+    """Flat on-disk artifact cache keyed by (stage name, content key)."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, stage: str, key: str, extension: str) -> pathlib.Path:
+        return self.root / f"{_sanitize(stage)}-{key}{extension}"
+
+    def has(self, stage: str, key: str, extension: str) -> bool:
+        return self.path_for(stage, key, extension).exists()
+
+    def save(self, stage: str, key: str, codec: Codec, value: object) -> pathlib.Path:
+        final = self.path_for(stage, key, codec.extension)
+        # The temp name keeps the real extension as suffix: numpy's savers
+        # append their extension when the target lacks it.
+        tmp = final.with_name(
+            f".tmp-{os.getpid()}-{threading.get_ident()}-{final.name}"
+        )
+        try:
+            codec.save(value, tmp)
+            os.replace(tmp, final)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return final
+
+    def load(self, stage: str, key: str, codec: Codec) -> object:
+        return codec.load(self.path_for(stage, key, codec.extension))
+
+    def entries(self) -> list[ArtifactEntry]:
+        found: list[ArtifactEntry] = []
+        for path in sorted(self.root.iterdir()):
+            match = _FILENAME_RE.match(path.name)
+            if match is None or not path.is_file():
+                continue
+            stat = path.stat()
+            found.append(
+                ArtifactEntry(
+                    stage=match.group("stage"),
+                    key=match.group("key"),
+                    path=path,
+                    n_bytes=stat.st_size,
+                    modified=stat.st_mtime,
+                )
+            )
+        return found
+
+    def clear(self, stages: Iterable[str] | None = None) -> int:
+        """Delete cached artifacts (optionally only for some stages)."""
+        wanted = None if stages is None else {_sanitize(s) for s in stages}
+        removed = 0
+        for entry in self.entries():
+            if wanted is not None and entry.stage not in wanted:
+                continue
+            entry.path.unlink(missing_ok=True)
+            removed += 1
+        return removed

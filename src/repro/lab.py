@@ -4,6 +4,18 @@
 pipelines, and codes the annotated true positives — everything the §6-§8
 analyses and the benchmark harness consume.  Results are deterministic
 given the config.
+
+The study is an execution graph on :mod:`repro.engine`::
+
+    corpus ── vectorized ──┬── seed:dox ─ train:dox ─ al:dox:* ─ … ─ result:dox
+                           └── seed:cth ─ train:cth ─ al:cth:* ─ … ─ result:cth
+
+With ``cache_dir`` set, every stage artifact is checkpointed to disk
+(corpus as JSONL, final models as ``.npz``, scores as ``.npy``, states
+as pickles) and a re-run with the same config executes zero stages.
+With ``jobs > 1`` the two task pipelines — which share only the
+vectorized corpus — and the per-source threshold searches inside each
+task run concurrently on a thread pool, with byte-identical results.
 """
 
 from __future__ import annotations
@@ -14,6 +26,7 @@ from typing import Mapping, Sequence
 
 from repro.corpus.documents import Corpus, Document
 from repro.corpus.generator import CorpusBuilder, CorpusConfig
+from repro.engine import CORPUS, ArtifactStore, Engine, RunReport
 from repro.pipeline.filtering import FilteringPipeline, PipelineConfig
 from repro.pipeline.results import PipelineResult
 from repro.pipeline.vectorized import VectorizedCorpus
@@ -39,6 +52,8 @@ class Study:
     corpus: Corpus
     vectorized: VectorizedCorpus
     results: Mapping[Task, PipelineResult]
+    #: Per-stage timings and cache hit/miss counters for the run.
+    run_report: RunReport | None = None
 
     @functools.cached_property
     def coder(self) -> ExpertCoder:
@@ -72,14 +87,56 @@ class Study:
         return self.results[task].above_threshold_documents()
 
 
-def run_study(config: StudyConfig | None = None) -> Study:
-    """Build the corpus and run both pipelines end to end."""
+def build_study_graph(engine: Engine, config: StudyConfig) -> dict[str, str]:
+    """Register the full study graph; returns the target stage names.
+
+    The returned mapping has ``"corpus"``, ``"vectorized"``, and one
+    ``result:<task>`` entry per task.
+    """
+
+    def _build_corpus() -> Corpus:
+        return CorpusBuilder(config.corpus).build()
+
+    def _vectorize(corpus: Corpus) -> VectorizedCorpus:
+        non_blog = [d for d in corpus if d.platform is not Platform.BLOGS]
+        return VectorizedCorpus(non_blog, seed=config.pipeline.seed)
+
+    corpus_s = engine.add("corpus", _build_corpus, key=(config.corpus,), codec=CORPUS)
+    vectorized_s = engine.add(
+        "vectorized", _vectorize, inputs=(corpus_s,), key=(config.pipeline.seed,)
+    )
+    targets = {"corpus": corpus_s, "vectorized": vectorized_s}
+    for task in (Task.DOX, Task.CTH):
+        pipeline = FilteringPipeline(task, config.pipeline)
+        targets[f"result:{task.value}"] = pipeline.register(engine, vectorized_s)
+    return targets
+
+
+def run_study(
+    config: StudyConfig | None = None,
+    *,
+    cache_dir: str | None = None,
+    jobs: int = 1,
+    force: bool = False,
+) -> Study:
+    """Build the corpus and run both pipelines end to end.
+
+    ``cache_dir`` enables the disk-backed stage cache (a warm re-run
+    executes zero stages); ``jobs`` sizes the stage thread pool;
+    ``force`` re-runs every stage even when cached.
+    """
     config = config or StudyConfig()
-    corpus = CorpusBuilder(config.corpus).build()
-    non_blog = [d for d in corpus if d.platform is not Platform.BLOGS]
-    vectorized = VectorizedCorpus(non_blog, seed=config.pipeline.seed)
-    results = {
-        task: FilteringPipeline(task, config.pipeline).run(vectorized)
-        for task in (Task.DOX, Task.CTH)
-    }
-    return Study(config=config, corpus=corpus, vectorized=vectorized, results=results)
+    store = ArtifactStore(cache_dir) if cache_dir is not None else None
+    engine = Engine(store=store, jobs=jobs, force=force)
+    targets = build_study_graph(engine, config)
+    outcome = engine.run(list(targets.values()))
+    return Study(
+        config=config,
+        corpus=outcome.values[targets["corpus"]],
+        vectorized=outcome.values[targets["vectorized"]],
+        results={
+            task: outcome.values[targets[f"result:{task.value}"]]
+            for task in (Task.DOX, Task.CTH)
+        },
+        run_report=outcome.report,
+    )

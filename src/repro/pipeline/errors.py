@@ -1,0 +1,41 @@
+"""Structured pipeline failures."""
+
+from __future__ import annotations
+
+from repro.types import Task
+
+
+class PipelineError(RuntimeError):
+    """A pipeline stage could not proceed.
+
+    Carries enough context to act on: the task whose pipeline failed, the
+    offending split sizes, and a remediation hint.  Subclasses
+    ``RuntimeError`` so pre-existing handlers keep working.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        task: Task | None = None,
+        n_train_positive: int | None = None,
+        n_train_negative: int | None = None,
+        hint: str | None = None,
+    ) -> None:
+        self.task = task
+        self.n_train_positive = n_train_positive
+        self.n_train_negative = n_train_negative
+        self.hint = hint
+        details = []
+        if task is not None:
+            details.append(f"task={task.value}")
+        if n_train_positive is not None or n_train_negative is not None:
+            details.append(
+                f"train split: {n_train_positive} positive / {n_train_negative} negative"
+            )
+        rendered = message
+        if details:
+            rendered += f" ({'; '.join(details)})"
+        if hint:
+            rendered += f"; hint: {hint}"
+        super().__init__(rendered)

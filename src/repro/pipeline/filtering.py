@@ -13,11 +13,22 @@ Stages, matching the paper's numbering:
 6. expert annotation of above-threshold samples → true positives
    (Table 4);
 7. the annotated true-positive sets feed every analysis in §6–§7.
+
+Each stage is a named node on the :mod:`repro.engine` execution graph
+(``seed`` → ``train`` → ``al:<round>`` → {``evaluate``,
+``final-train`` → ``score`` → ``annotate:<source>``} → ``result``), so a
+run is checkpointable per stage, re-runnable from any cached prefix, and
+the per-source threshold searches — which share nothing but the final
+score vector — execute concurrently under ``jobs > 1``.  Every stage is
+a pure function of its inputs plus *named* RNG streams
+(:func:`repro.util.rng.child_rng`), which is what makes cached,
+parallel, and sequential runs byte-identical.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import functools
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -26,11 +37,14 @@ from repro import paper
 from repro.annotation.active_learning import decile_sample
 from repro.annotation.annotator import CROWD_PROFILES, EXPERT_PROFILE, SimulatedAnnotator
 from repro.annotation.crowdsource import CrowdsourceResult, CrowdsourcingService
+from repro.engine import FILTER_MODEL, NUMPY, Engine
+from repro.nlp.features import HashingVectorizer
 from repro.nlp.metrics import binary_classification_report, roc_auc
 from repro.nlp.models.logreg import LogisticRegressionClassifier
 from repro.nlp.spans import SpanStrategy
+from repro.pipeline.errors import PipelineError
 from repro.pipeline.results import AnnotationProcessStats, PipelineResult, SourceOutcome
-from repro.pipeline.seeds import build_seed
+from repro.pipeline.seeds import SeedSet, build_seed
 from repro.pipeline.thresholds import THRESHOLD_GRID, select_threshold
 from repro.pipeline.vectorized import TaskView, VectorizedCorpus
 from repro.types import Source, Task
@@ -75,14 +89,33 @@ class PipelineConfig:
             raise ValueError("eval_fraction must be in (0, 0.5)")
         if self.al_rounds < 0:
             raise ValueError("al_rounds must be non-negative")
+        if not 0 < self.target_precision <= 1:
+            raise ValueError("target_precision must be in (0, 1]")
+        if self.spot_sample_size <= 0:
+            raise ValueError("spot_sample_size must be positive")
+        if self.model_epochs <= 0:
+            raise ValueError("model_epochs must be positive")
 
 
 class FilterModel:
     """A span-aware filter classifier bound to one task view."""
 
-    def __init__(self, view: TaskView, epochs: int = 6, l2: float = 1e-6, seed: int = 0) -> None:
+    def __init__(
+        self,
+        view: TaskView,
+        epochs: int = 6,
+        l2: float = 1e-6,
+        seed: int = 0,
+        classifier: LogisticRegressionClassifier | None = None,
+    ) -> None:
         self.view = view
-        self._model = LogisticRegressionClassifier(epochs=epochs, l2=l2, seed=seed)
+        self._model = classifier or LogisticRegressionClassifier(
+            epochs=epochs, l2=l2, seed=seed
+        )
+
+    @property
+    def classifier(self) -> LogisticRegressionClassifier:
+        return self._model
 
     def fit(self, positions: Sequence[int], labels: np.ndarray) -> "FilterModel":
         rows, owner = self.view.rows_for_docs(positions)
@@ -104,135 +137,175 @@ class FilterModel:
         return sums / counts
 
 
+@dataclasses.dataclass
+class TrainingState:
+    """Label store + annotation-process state carried between stages.
+
+    The dicts are copied stage to stage (cheap); the crowdsourcing
+    service travels by reference within one run and by pickle through
+    the artifact store, so a round resumed from cache sees exactly the
+    worker pool and counters the previous round left behind.
+    """
+
+    labels: dict[int, bool]
+    crowd_labels: dict[int, bool]
+    crowd_batches: tuple[CrowdsourceResult, ...]
+    crowd: CrowdsourcingService
+    classifier: LogisticRegressionClassifier
+
+
+@dataclasses.dataclass(frozen=True)
+class EvalOutcome:
+    """Held-out evaluation of the final classifier (stage 4)."""
+
+    report: Mapping[str, Mapping[str, float]]
+    auc: float
+
+
 class FilteringPipeline:
     """Runs one task's full Fig.-1 pipeline over a vectorized corpus."""
 
     def __init__(self, task: Task, config: PipelineConfig | None = None) -> None:
         self.task = task
         self.config = config or PipelineConfig()
-        self._expert = SimulatedAnnotator(
-            900 + (0 if task is Task.DOX else 1), EXPERT_PROFILE, self.config.seed
-        )
 
     # -- public -------------------------------------------------------------
 
-    def run(self, vc: VectorizedCorpus) -> PipelineResult:
+    def run(self, vc: VectorizedCorpus, engine: Engine | None = None) -> PipelineResult:
+        """Execute the pipeline; identical with or without a shared engine."""
+        if engine is None:
+            engine = Engine()
+        source = engine.add_source(f"vectorized:{self.task.value}", vc)
+        result = self.register(engine, source)
+        return engine.run([result]).values[result]
+
+    def register(self, engine: Engine, vectorized: str) -> str:
+        """Register this task's stage graph; returns the result stage name.
+
+        ``vectorized`` names an already-registered stage producing the
+        shared :class:`VectorizedCorpus`.
+        """
         cfg = self.config
-        task = self.task
-        documents = vc.documents
-        max_tokens = cfg.max_tokens or TASK_MAX_TOKENS[task]
-        view = vc.task_view(max_tokens, cfg.span_strategy)
-        rng = child_rng(cfg.seed, "pipeline", task.value)
-
-        sources = TASK_SOURCES[task]
-        source_of = np.array(
-            [s.value if (s := doc.source) is not None else "" for doc in documents]
+        t = self.task.value
+        seed_s = engine.add(
+            f"seed:{t}", self._stage_seed, inputs=(vectorized,), key=(cfg,)
         )
-        eligible_by_source = {
-            source: np.flatnonzero(source_of == source.value) for source in sources
-        }
-
-        # Stage 1: seed annotations.
-        seed_set = build_seed(documents, task, cfg.seed)
-        labels_store: dict[int, bool] = {
-            int(p): bool(l) for p, l in zip(seed_set.positions, seed_set.labels)
-        }
-        crowd_positions: dict[int, bool] = {}
-
-        # Stage 2: initial training.
-        model = self._fit(view, labels_store)
-
-        # Stage 3: active learning rounds.
-        crowd = CrowdsourcingService(CROWD_PROFILES[task], cfg.seed)
-        crowd_batches: list[CrowdsourceResult] = []
+        prev = engine.add(
+            f"train:{t}", self._stage_train, inputs=(vectorized, seed_s), key=(cfg,)
+        )
         for al_round in range(cfg.al_rounds):
-            scores = model.predict_all()
-            for source in sources:
-                positions = eligible_by_source[source]
-                if positions.size == 0:
-                    continue
-                already = np.array(
-                    [i for i, p in enumerate(positions) if int(p) in labels_store],
-                    dtype=np.int64,
-                )
-                local = decile_sample(
-                    scores[positions], cfg.al_per_bin,
-                    child_rng(cfg.seed, "al", task.value, al_round, source.value),
-                    exclude=already if already.size else None,
-                )
-                if local.size == 0:
-                    continue
-                chosen = positions[local]
-                truths = np.array([documents[p].truth_for(task) for p in chosen])
-                result = crowd.annotate_batch(truths)
-                crowd_batches.append(result)
-                for p, label in zip(chosen, result.labels):
-                    labels_store[int(p)] = bool(label)
-                    crowd_positions[int(p)] = bool(label)
-            model = self._fit(view, labels_store)
+            prev = engine.add(
+                f"al:{t}:{al_round}",
+                functools.partial(self._stage_al_round, al_round),
+                inputs=(vectorized, prev),
+                key=(cfg, al_round),
+            )
+        eval_s = engine.add(
+            f"evaluate:{t}", self._stage_evaluate, inputs=(vectorized, prev), key=(cfg,)
+        )
+        model_s = engine.add(
+            f"final-train:{t}",
+            self._stage_final_train,
+            inputs=(vectorized, prev),
+            key=(cfg,),
+            codec=FILTER_MODEL,
+        )
+        score_s = engine.add(
+            f"score:{t}",
+            self._stage_score,
+            inputs=(vectorized, model_s),
+            key=(cfg,),
+            codec=NUMPY,
+        )
+        annotate_stages = [
+            engine.add(
+                f"annotate:{t}:{source.value}",
+                functools.partial(self._stage_threshold_and_annotate, source),
+                inputs=(vectorized, score_s),
+                key=(cfg, source.value),
+            )
+            for source in TASK_SOURCES[self.task]
+        ]
+        return engine.add(
+            f"result:{t}",
+            self._stage_assemble,
+            inputs=(vectorized, prev, eval_s, score_s, *annotate_stages),
+            key=(cfg,),
+        )
 
-        # Stage 4: held-out evaluation (crowd annotations as ground truth,
-        # §5.4 — the paper withheld evaluation sets of annotations).
-        eval_report, eval_auc = self._evaluate(view, labels_store, crowd_positions, rng)
+    # -- stage functions ----------------------------------------------------
 
-        # Final model on all annotations; score the whole corpus.
-        model = self._fit(view, labels_store)
-        scores = model.predict_all()
+    def _stage_seed(self, vc: VectorizedCorpus) -> SeedSet:
+        """Stage 1: seed annotations (§5.1)."""
+        return build_seed(vc.documents, self.task, self.config.seed)
 
-        # Stages 5-6: thresholds and expert annotation per source.
-        caps = dict(cfg.annotation_caps) if cfg.annotation_caps is not None else {
-            source: (int(1e12) if row["full"] else int(row["annotated"]))
-            for source, row in paper.TABLE4_THRESHOLDS[task].items()
-        }
-        outcomes: dict[Source, SourceOutcome] = {}
-        for source in sources:
-            positions = eligible_by_source[source]
+    def _stage_train(self, vc: VectorizedCorpus, seed_set: SeedSet) -> TrainingState:
+        """Stage 2: initial training on the seeds."""
+        labels = {int(p): bool(l) for p, l in zip(seed_set.positions, seed_set.labels)}
+        return TrainingState(
+            labels=labels,
+            crowd_labels={},
+            crowd_batches=(),
+            crowd=CrowdsourcingService(CROWD_PROFILES[self.task], self.config.seed),
+            classifier=self._fit(self._view(vc), labels),
+        )
+
+    def _stage_al_round(
+        self, al_round: int, vc: VectorizedCorpus, state: TrainingState
+    ) -> TrainingState:
+        """Stage 3: one active-learning round (§5.3)."""
+        cfg = self.config
+        documents = vc.documents
+        view = self._view(vc)
+        scores = FilterModel(view, classifier=state.classifier).predict_all()
+        labels = dict(state.labels)
+        crowd_labels = dict(state.crowd_labels)
+        batches = list(state.crowd_batches)
+        for source, positions in self._eligible_by_source(documents).items():
             if positions.size == 0:
                 continue
-            outcomes[source] = self._select_and_annotate(
-                source, positions, scores, documents, caps.get(source, int(1e12)), rng
+            already = np.array(
+                [i for i, p in enumerate(positions) if int(p) in labels],
+                dtype=np.int64,
             )
-
-        training_sizes = self._training_sizes(crowd_positions, documents, sources)
-        stats = _combine_crowd_stats(crowd_batches)
-        return PipelineResult(
-            task=task,
-            documents=documents,
-            outcomes=outcomes,
-            eval_report=eval_report,
-            eval_auc=eval_auc,
-            training_data_sizes=training_sizes,
-            annotation_stats=stats,
-            scores=scores,
-            max_tokens=max_tokens,
+            local = decile_sample(
+                scores[positions], cfg.al_per_bin,
+                child_rng(cfg.seed, "al", self.task.value, al_round, source.value),
+                exclude=already if already.size else None,
+            )
+            if local.size == 0:
+                continue
+            chosen = positions[local]
+            truths = np.array([documents[p].truth_for(self.task) for p in chosen])
+            result = state.crowd.annotate_batch(truths)
+            batches.append(result)
+            for p, label in zip(chosen, result.labels):
+                labels[int(p)] = bool(label)
+                crowd_labels[int(p)] = bool(label)
+        return TrainingState(
+            labels=labels,
+            crowd_labels=crowd_labels,
+            crowd_batches=tuple(batches),
+            crowd=state.crowd,
+            classifier=self._fit(view, labels),
         )
 
-    # -- internals ----------------------------------------------------------
-
-    def _fit(self, view: TaskView, labels_store: Mapping[int, bool]) -> FilterModel:
-        positions = np.fromiter(labels_store.keys(), dtype=np.int64, count=len(labels_store))
-        labels = np.fromiter(labels_store.values(), dtype=bool, count=len(labels_store))
-        model = FilterModel(
-            view, epochs=self.config.model_epochs, l2=self.config.model_l2,
-            seed=self.config.seed,
-        )
-        return model.fit(positions, labels)
-
-    def _evaluate(
-        self,
-        view: TaskView,
-        labels_store: Mapping[int, bool],
-        crowd_positions: Mapping[int, bool],
-        rng: np.random.Generator,
-    ) -> tuple[Mapping[str, Mapping[str, float]], float]:
-        """Hold out a slice of the *crowd-annotated* data for evaluation.
+    def _stage_evaluate(self, vc: VectorizedCorpus, state: TrainingState) -> EvalOutcome:
+        """Stage 4: hold out a slice of the *crowd-annotated* data (§5.4).
 
         The seed annotations stay in training (they bootstrapped the
         model); evaluation mirrors the paper's withheld annotation sets.
         """
-        eval_pool = np.fromiter(crowd_positions.keys(), dtype=np.int64, count=len(crowd_positions))
+        view = self._view(vc)
+        labels_store = state.labels
+        rng = child_rng(self.config.seed, "pipeline", self.task.value)
+        eval_pool = np.fromiter(
+            state.crowd_labels.keys(), dtype=np.int64, count=len(state.crowd_labels)
+        )
         if eval_pool.size < 20:  # degenerate corpora: fall back to everything
-            eval_pool = np.fromiter(labels_store.keys(), dtype=np.int64, count=len(labels_store))
+            eval_pool = np.fromiter(
+                labels_store.keys(), dtype=np.int64, count=len(labels_store)
+            )
         n_eval = max(int(eval_pool.size * self.config.eval_fraction), 10)
         eval_positions = rng.choice(
             eval_pool, size=min(n_eval, eval_pool.size // 2), replace=False
@@ -243,7 +316,15 @@ class FilteringPipeline:
         )
         train_labels = np.array([labels_store[int(p)] for p in train_positions], dtype=bool)
         if train_labels.all() or not train_labels.any():
-            raise RuntimeError("train split lost a class; corpus too small for eval")
+            n_positive = int(train_labels.sum())
+            raise PipelineError(
+                "train split lost a class; corpus too small for evaluation",
+                task=self.task,
+                n_train_positive=n_positive,
+                n_train_negative=int(train_labels.size - n_positive),
+                hint="raise al_per_bin or the corpus size so both classes "
+                "survive the held-out split",
+            )
         model = FilterModel(
             view, epochs=self.config.model_epochs, l2=self.config.model_l2,
             seed=self.config.seed,
@@ -255,30 +336,52 @@ class FilteringPipeline:
             positive_name="positive", negative_name="negative",
         )
         auc = roc_auc(y_true, probs) if y_true.any() and not y_true.all() else float("nan")
-        return report, auc
+        return EvalOutcome(report=report, auc=auc)
 
-    def _select_and_annotate(
+    def _stage_final_train(
+        self, vc: VectorizedCorpus, state: TrainingState
+    ) -> tuple[LogisticRegressionClassifier, HashingVectorizer]:
+        """Final model on all annotations (the §3 releasable classifier)."""
+        return self._fit(self._view(vc), state.labels), vc.vectorizer
+
+    def _stage_score(
         self,
-        source: Source,
-        positions: np.ndarray,
-        scores: np.ndarray,
-        documents: Sequence,
-        cap: int,
-        rng: np.random.Generator,
-    ) -> SourceOutcome:
+        vc: VectorizedCorpus,
+        final: tuple[LogisticRegressionClassifier, HashingVectorizer],
+    ) -> np.ndarray:
+        """Score the whole corpus with the final model."""
+        classifier, _vectorizer = final
+        return FilterModel(self._view(vc), classifier=classifier).predict_all()
+
+    def _stage_threshold_and_annotate(
+        self, source: Source, vc: VectorizedCorpus, scores: np.ndarray
+    ) -> SourceOutcome | None:
+        """Stages 5–6: threshold selection + expert annotation (§5.5–§5.6).
+
+        Independent across sources — each gets its own named RNG streams
+        and its own simulated expert, so the per-source stages can run
+        concurrently yet byte-identically to a sequential run.
+        """
+        cfg = self.config
+        documents = vc.documents
+        positions = self._eligible_by_source(documents)[source]
+        if positions.size == 0:
+            return None
+        expert = self._expert_for(source)
         source_scores = scores[positions]
         truths = np.array([documents[p].truth_for(self.task) for p in positions])
 
         def annotate(sample_idx: np.ndarray) -> np.ndarray:
-            return self._expert.annotate_many(truths[sample_idx])
+            return expert.annotate_many(truths[sample_idx])
 
+        cap = self._caps().get(source, int(1e12))
         decision = select_threshold(
             source_scores,
             annotate,
-            child_rng(self.config.seed, "threshold", self.task.value, source.value),
-            grid=self.config.threshold_grid,
-            target_precision=self.config.target_precision,
-            sample_size=self.config.spot_sample_size,
+            child_rng(cfg.seed, "threshold", self.task.value, source.value),
+            grid=cfg.threshold_grid,
+            target_precision=cfg.target_precision,
+            sample_size=cfg.spot_sample_size,
             annotatable_cap=cap,
         )
         above_local = np.flatnonzero(source_scores > decision.threshold)
@@ -286,10 +389,9 @@ class FilteringPipeline:
         if fully:
             annotated_local = above_local
         else:
-            annotated_local = np.sort(
-                rng.choice(above_local, size=cap, replace=False)
-            )
-        expert_labels = self._expert.annotate_many(truths[annotated_local])
+            rng = child_rng(cfg.seed, "annotate", self.task.value, source.value)
+            annotated_local = np.sort(rng.choice(above_local, size=cap, replace=False))
+        expert_labels = expert.annotate_many(truths[annotated_local])
         tp_local = annotated_local[expert_labels]
         return SourceOutcome(
             source=source,
@@ -302,23 +404,102 @@ class FilteringPipeline:
             true_positive_positions=positions[tp_local],
         )
 
+    def _stage_assemble(
+        self,
+        vc: VectorizedCorpus,
+        state: TrainingState,
+        evaluation: EvalOutcome,
+        scores: np.ndarray,
+        *source_outcomes: SourceOutcome | None,
+    ) -> PipelineResult:
+        """Stage 7: fold every stage output into the result container."""
+        documents = vc.documents
+        outcomes = {o.source: o for o in source_outcomes if o is not None}
+        return PipelineResult(
+            task=self.task,
+            documents=documents,
+            outcomes=outcomes,
+            eval_report=evaluation.report,
+            eval_auc=evaluation.auc,
+            training_data_sizes=self._training_sizes(state.crowd_labels, documents),
+            annotation_stats=_combine_crowd_stats(state.crowd_batches, state.crowd),
+            scores=scores,
+            max_tokens=self.config.max_tokens or TASK_MAX_TOKENS[self.task],
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _view(self, vc: VectorizedCorpus) -> TaskView:
+        cfg = self.config
+        max_tokens = cfg.max_tokens or TASK_MAX_TOKENS[self.task]
+        return vc.task_view(max_tokens, cfg.span_strategy)
+
+    def _eligible_by_source(self, documents: Sequence) -> dict[Source, np.ndarray]:
+        source_of = np.array(
+            [s.value if (s := doc.source) is not None else "" for doc in documents]
+        )
+        return {
+            source: np.flatnonzero(source_of == source.value)
+            for source in TASK_SOURCES[self.task]
+        }
+
+    def _expert_for(self, source: Source) -> SimulatedAnnotator:
+        """One domain expert per (task, source), on an independent stream."""
+        task_base = 900 + 10 * (0 if self.task is Task.DOX else 1)
+        source_index = TASK_SOURCES[self.task].index(source)
+        return SimulatedAnnotator(task_base + source_index, EXPERT_PROFILE, self.config.seed)
+
+    def _caps(self) -> dict[Source, int]:
+        if self.config.annotation_caps is not None:
+            return dict(self.config.annotation_caps)
+        return {
+            source: (int(1e12) if row["full"] else int(row["annotated"]))
+            for source, row in paper.TABLE4_THRESHOLDS[self.task].items()
+        }
+
+    def _fit(
+        self, view: TaskView, labels_store: Mapping[int, bool]
+    ) -> LogisticRegressionClassifier:
+        positions = np.fromiter(labels_store.keys(), dtype=np.int64, count=len(labels_store))
+        labels = np.fromiter(labels_store.values(), dtype=bool, count=len(labels_store))
+        model = FilterModel(
+            view, epochs=self.config.model_epochs, l2=self.config.model_l2,
+            seed=self.config.seed,
+        )
+        return model.fit(positions, labels).classifier
+
     def _training_sizes(
         self,
-        crowd_positions: Mapping[int, bool],
+        crowd_labels: Mapping[int, bool],
         documents: Sequence,
-        sources: Sequence[Source],
     ) -> dict[Source, tuple[int, int]]:
-        sizes = {source: [0, 0] for source in sources}
-        for position, label in crowd_positions.items():
+        sizes = {source: [0, 0] for source in TASK_SOURCES[self.task]}
+        for position, label in crowd_labels.items():
             source = documents[position].source
             if source in sizes:
                 sizes[source][0 if label else 1] += 1
         return {source: (pos, neg) for source, (pos, neg) in sizes.items()}
 
 
-def _combine_crowd_stats(batches: Sequence[CrowdsourceResult]) -> AnnotationProcessStats:
+def _combine_crowd_stats(
+    batches: Sequence[CrowdsourceResult],
+    service: CrowdsourcingService | None = None,
+) -> AnnotationProcessStats:
+    """Aggregate per-batch agreement stats with the service's lifetime totals.
+
+    Removal and qualification-failure counts accumulate on the long-lived
+    :class:`CrowdsourcingService` across batches, so the totals come from
+    the service; per-batch deltas are only summed as a fallback when no
+    service is supplied.
+    """
+    if service is not None:
+        n_removed = service.n_removed_annotators
+        n_qualification = service.n_qualification_failures
+    else:
+        n_removed = sum(b.n_removed_annotators for b in batches)
+        n_qualification = sum(b.n_qualification_failures for b in batches)
     if not batches:
-        return AnnotationProcessStats(0, 0.0, float("nan"), 0, 0, 0)
+        return AnnotationProcessStats(0, 0.0, float("nan"), 0, n_removed, n_qualification)
     first = np.concatenate([b.first for b in batches])
     second = np.concatenate([b.second for b in batches])
     from repro.nlp.metrics import cohens_kappa  # local to avoid cycle at import
@@ -328,6 +509,6 @@ def _combine_crowd_stats(batches: Sequence[CrowdsourceResult]) -> AnnotationProc
         disagreement_rate=float(np.mean(first != second)),
         kappa=cohens_kappa(first, second),
         n_tiebreaks=sum(b.n_tiebreaks for b in batches),
-        n_removed_annotators=max(b.n_removed_annotators for b in batches),
-        n_qualification_failures=max(b.n_qualification_failures for b in batches),
+        n_removed_annotators=n_removed,
+        n_qualification_failures=n_qualification,
     )

@@ -12,6 +12,7 @@ matrix; only the dot product is repeated.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from typing import Sequence
 
 import numpy as np
@@ -77,33 +78,50 @@ class VectorizedCorpus:
         self.seed = seed
         self.cache = TokenCache(doc.text for doc in self.documents)
         self._views: dict[tuple[int, SpanStrategy], TaskView] = {}
+        self._view_lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self.documents)
 
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_view_lock"]  # locks do not pickle; recreated on load
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._view_lock = threading.Lock()
+
     def task_view(self, max_tokens: int, strategy: SpanStrategy) -> TaskView:
-        """Build (or return the cached) span-row matrix for a task config."""
+        """Build (or return the cached) span-row matrix for a task config.
+
+        Thread-safe: concurrently-running pipeline stages share one
+        vectorized corpus, so the view cache is built under a lock.
+        The build itself is deterministic (a named RNG stream per view
+        config), so which thread builds a view never changes its content.
+        """
         key = (max_tokens, strategy)
-        view = self._views.get(key)
-        if view is not None:
+        with self._view_lock:
+            view = self._views.get(key)
+            if view is not None:
+                return view
+            rng = child_rng(self.seed, "spans", max_tokens, strategy.value)
+            arrays = []
+            span_doc = []
+            for pos, hashes in enumerate(self.cache.arrays):
+                for start, end in make_spans(hashes.size, max_tokens, strategy, rng):
+                    arrays.append(hashes[start:end])
+                    span_doc.append(pos)
+            matrix = _compact(self.vectorizer.transform_hashes(arrays))
+            view = TaskView(
+                matrix=matrix,
+                span_doc=np.asarray(span_doc, dtype=np.int64),
+                n_documents=len(self.documents),
+                max_tokens=max_tokens,
+                strategy=strategy,
+            )
+            self._views[key] = view
             return view
-        rng = child_rng(self.seed, "spans", max_tokens, strategy.value)
-        arrays = []
-        span_doc = []
-        for pos, hashes in enumerate(self.cache.arrays):
-            for start, end in make_spans(hashes.size, max_tokens, strategy, rng):
-                arrays.append(hashes[start:end])
-                span_doc.append(pos)
-        matrix = _compact(self.vectorizer.transform_hashes(arrays))
-        view = TaskView(
-            matrix=matrix,
-            span_doc=np.asarray(span_doc, dtype=np.int64),
-            n_documents=len(self.documents),
-            max_tokens=max_tokens,
-            strategy=strategy,
-        )
-        self._views[key] = view
-        return view
 
     def drop_view(self, max_tokens: int, strategy: SpanStrategy) -> None:
         """Free a cached view (the matrices are large)."""

@@ -99,7 +99,41 @@ def test_qualification_filters_bad_annotators():
     poor = AnnotatorProfile(sensitivity=0.6, specificity=0.6, spread=0.02)
     service = CrowdsourcingService(poor, seed=8)
     service.annotate_batch(np.array([True, False] * 30))
-    assert service._qualification_failures > 0
+    assert service.n_qualification_failures > 0
+
+
+def test_multi_batch_counters_accumulate_on_service():
+    """Batch results report per-batch deltas; the long-lived service holds
+    the lifetime totals across batches."""
+    poor = AnnotatorProfile(sensitivity=0.6, specificity=0.6, spread=0.02)
+    service = CrowdsourcingService(poor, seed=8)
+    truths = np.array([True, False] * 30)
+    batches = [service.annotate_batch(truths) for _ in range(3)]
+    assert service.n_qualification_failures == sum(
+        b.n_qualification_failures for b in batches
+    )
+    assert service.n_removed_annotators == sum(
+        b.n_removed_annotators for b in batches
+    )
+    assert service.n_qualification_failures > 0
+
+
+def test_combine_crowd_stats_uses_service_totals():
+    from repro.pipeline.filtering import _combine_crowd_stats
+
+    poor = AnnotatorProfile(sensitivity=0.6, specificity=0.6, spread=0.02)
+    service = CrowdsourcingService(poor, seed=8)
+    truths = np.array([True, False] * 30)
+    batches = [service.annotate_batch(truths) for _ in range(3)]
+    stats = _combine_crowd_stats(batches, service)
+    assert stats.n_documents == 3 * truths.size
+    assert stats.n_qualification_failures == service.n_qualification_failures
+    assert stats.n_removed_annotators == service.n_removed_annotators
+    # The old aggregation took max() over batches; with several batches the
+    # lifetime totals must dominate any single batch's delta.
+    assert stats.n_qualification_failures >= max(
+        b.n_qualification_failures for b in batches
+    )
 
 
 def test_crowd_kappa_matches_paper_band(rng):

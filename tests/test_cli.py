@@ -92,3 +92,28 @@ def test_run_tiny(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "Table 4" in out and "Table 5" in out
     assert (tmp_path / "reports" / "table5.txt").exists()
+
+
+def test_study_warm_cache_and_cache_commands(tmp_path, capsys):
+    cache = tmp_path / "stage-cache"
+    reports = tmp_path / "reports"
+    assert main([
+        "study", "--tiny", "--cache-dir", str(cache), "--jobs", "2",
+        "--report-dir", str(reports),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "0 cache hits" in out and "Table 3" in out
+    assert (reports / "stage_summary.txt").exists()
+
+    # Warm re-run: the engine loads cached artifacts, executes nothing.
+    assert main(["study", "--tiny", "--cache-dir", str(cache)]) == 0
+    out = capsys.readouterr().out
+    assert "stages: 0 executed" in out
+
+    assert main(["cache", "ls", "--cache-dir", str(cache)]) == 0
+    out = capsys.readouterr().out
+    assert "artifacts" in out and "corpus" in out
+    assert main(["cache", "clear", "--cache-dir", str(cache)]) == 0
+    assert "removed" in capsys.readouterr().out
+    assert main(["cache", "ls", "--cache-dir", str(cache)]) == 0
+    assert "empty" in capsys.readouterr().out

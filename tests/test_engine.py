@@ -1,0 +1,225 @@
+"""Unit tests for the staged execution engine (keys, store, scheduler)."""
+
+import dataclasses
+import enum
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    CORPUS,
+    NUMPY,
+    STATUS_HIT,
+    STATUS_RUN,
+    ArtifactStore,
+    Engine,
+    canonicalize,
+    fingerprint,
+)
+
+
+# -- cache keys --------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class _Knobs:
+    seed: int = 7
+    rate: float = 0.5
+
+
+class _Color(enum.Enum):
+    RED = "red"
+    BLUE = "blue"
+
+
+def test_fingerprint_stable_for_equal_content():
+    assert fingerprint(_Knobs()) == fingerprint(_Knobs())
+    assert fingerprint(_Knobs(seed=8)) != fingerprint(_Knobs())
+    assert fingerprint(_Color.RED) != fingerprint(_Color.BLUE)
+
+
+def test_fingerprint_mapping_order_independent():
+    assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+
+def test_fingerprint_distinguishes_types():
+    assert fingerprint(1) != fingerprint("1")
+    assert fingerprint(True) != fingerprint(1)
+    assert fingerprint((1, 2)) == fingerprint([1, 2])  # sequence kinds merge
+
+
+def test_canonicalize_rejects_opaque_objects():
+    with pytest.raises(TypeError):
+        canonicalize(object())
+
+
+# -- artifact store ----------------------------------------------------------
+
+
+def test_store_roundtrip_and_entries(tmp_path):
+    store = ArtifactStore(tmp_path)
+    key = "ab" * 16
+    store.save("stage:one", key, NUMPY, np.arange(5))
+    assert store.has("stage:one", key, NUMPY.extension)
+    np.testing.assert_array_equal(store.load("stage:one", key, NUMPY), np.arange(5))
+    entries = store.entries()
+    assert len(entries) == 1
+    assert entries[0].stage == "stage_one"
+    assert entries[0].key == key
+    assert store.clear() == 1
+    assert not store.has("stage:one", key, NUMPY.extension)
+
+
+def test_corpus_codec_roundtrip(tmp_path, tiny_corpus):
+    store = ArtifactStore(tmp_path)
+    docs = list(tiny_corpus)[:25]
+    key = "cd" * 16
+    store.save("corpus", key, CORPUS, docs)
+    loaded = list(store.load("corpus", key, CORPUS))
+    assert [d.doc_id for d in loaded] == [d.doc_id for d in docs]
+    assert [d.text for d in loaded] == [d.text for d in docs]
+
+
+# -- engine graph ------------------------------------------------------------
+
+
+def _counting_engine(store=None, calls=None, **kwargs):
+    calls = calls if calls is not None else []
+    engine = Engine(store=store, **kwargs)
+
+    def tracked(name, value):
+        def fn(*inputs):
+            calls.append(name)
+            return value + sum(inputs)
+
+        return fn
+
+    a = engine.add("a", tracked("a", 1))
+    b = engine.add("b", tracked("b", 10), inputs=(a,))
+    c = engine.add("c", tracked("c", 100), inputs=(a,))
+    d = engine.add("d", tracked("d", 1000), inputs=(b, c))
+    return engine, calls, d
+
+
+def test_engine_runs_in_dependency_order():
+    engine, calls, d = _counting_engine()
+    outcome = engine.run([d])
+    assert outcome.values[d] == 1000 + (10 + 1) + (100 + 1)
+    assert calls.index("a") < calls.index("b")
+    assert calls.index("b") < calls.index("d")
+    assert all(r.status == STATUS_RUN for r in outcome.report.records)
+
+
+def test_engine_rejects_unknown_input_and_duplicate_name():
+    engine = Engine()
+    with pytest.raises(KeyError):
+        engine.add("x", lambda y: y, inputs=("missing",))
+    engine.add("x", lambda: 1)
+    with pytest.raises(ValueError):
+        engine.add("x", lambda: 2)
+
+
+def test_engine_cache_roundtrip_skips_upstream(tmp_path):
+    store = ArtifactStore(tmp_path)
+    engine, calls, d = _counting_engine(store=store)
+    first = engine.run([d])
+    assert first.report.n_executed == 4
+
+    # A fresh engine with the same graph: the target is cached, so no
+    # stage function runs and no upstream artifact is even loaded.
+    engine2, calls2, d2 = _counting_engine(store=store)
+    second = engine2.run([d2])
+    assert second.values[d2] == first.values[d]
+    assert calls2 == []
+    assert [r.name for r in second.report.records] == [d2]
+    assert second.report.record(d2).status == STATUS_HIT
+
+
+def test_engine_corrupt_artifact_error_names_stage(tmp_path):
+    store = ArtifactStore(tmp_path)
+    engine, _calls, d = _counting_engine(store=store)
+    engine.run([d])
+
+    path = store.path_for(d, engine.key_of(d), ".pkl")
+    path.write_bytes(b"\x80")  # truncated pickle: unreadable
+
+    engine2, _calls2, d2 = _counting_engine(store=store)
+    with pytest.raises(RuntimeError, match=f"stage '{d2}'.*clear the cache"):
+        engine2.run([d2])
+
+    # force ignores the corrupt artifact, re-runs, and rewrites it
+    engine3, _calls3, d3 = _counting_engine(store=store, force=True)
+    assert engine3.run([d3]).values[d3] == 1112
+    engine4, _calls4, d4 = _counting_engine(store=store)
+    assert engine4.run([d4]).report.record(d4).status == STATUS_HIT
+
+
+def test_engine_invalidation_on_key_change(tmp_path):
+    store = ArtifactStore(tmp_path)
+    engine = Engine(store=store)
+    a = engine.add("a", lambda: 5, key=(1,))
+    engine.run([a])
+
+    engine2 = Engine(store=store)
+    a2 = engine2.add("a", lambda: 6, key=(2,))
+    outcome = engine2.run([a2])
+    assert outcome.report.record(a2).status == STATUS_RUN
+    assert outcome.values[a2] == 6
+
+
+def test_engine_key_change_invalidates_downstream(tmp_path):
+    store = ArtifactStore(tmp_path)
+
+    def build(seed):
+        engine = Engine(store=store)
+        a = engine.add("a", lambda: seed, key=(seed,))
+        b = engine.add("b", lambda x: x * 2, inputs=(a,))
+        return engine, b
+
+    engine, b = build(3)
+    assert engine.run([b]).values[b] == 6
+    engine2, b2 = build(4)  # upstream key change reruns b too
+    outcome = engine2.run([b2])
+    assert outcome.values[b2] == 8
+    assert outcome.report.record(b2).status == STATUS_RUN
+
+
+def test_engine_force_reruns_cached_stages(tmp_path):
+    store = ArtifactStore(tmp_path)
+    engine, calls, d = _counting_engine(store=store)
+    engine.run([d])
+
+    engine2, calls2, d2 = _counting_engine(store=store, force=True)
+    outcome = engine2.run([d2])
+    assert outcome.report.n_executed == 4
+    assert sorted(calls2) == ["a", "b", "c", "d"]
+
+
+def test_engine_parallel_matches_sequential():
+    seq, _, d_seq = _counting_engine()
+    par, _, d_par = _counting_engine(jobs=4)
+    assert seq.run([d_seq]).values[d_seq] == par.run([d_par]).values[d_par]
+
+
+def test_engine_parallel_error_propagates():
+    engine = Engine(jobs=4)
+    a = engine.add("a", lambda: 1)
+    boom = engine.add("boom", lambda: (_ for _ in ()).throw(ValueError("nope")))
+    with pytest.raises(ValueError, match="nope"):
+        engine.run([a, boom])
+
+
+def test_engine_source_stages_never_cached(tmp_path):
+    store = ArtifactStore(tmp_path)
+    engine = Engine(store=store)
+    src = engine.add_source("given", [1, 2, 3])
+    engine.run([src])
+    assert store.entries() == []
+
+
+def test_run_report_render_mentions_stages():
+    engine, _, d = _counting_engine()
+    report = engine.run([d]).report
+    text = report.render()
+    assert "stage" in text and "a" in text and "total" in text
+    assert report.total_seconds >= 0

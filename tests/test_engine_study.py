@@ -1,0 +1,92 @@
+"""Integration tests: the study as a cached, parallelizable stage graph."""
+
+import numpy as np
+import pytest
+
+from repro.lab import StudyConfig, run_study
+from repro.types import Task
+
+
+def _assert_results_identical(a, b):
+    """Byte-level equality of two studies' pipeline results."""
+    assert [d.doc_id for d in a.corpus] == [d.doc_id for d in b.corpus]
+    for task in Task:
+        left, right = a.results[task], b.results[task]
+        assert left.scores.tobytes() == right.scores.tobytes()
+        assert left.eval_auc == right.eval_auc
+        assert left.eval_report == right.eval_report
+        assert left.training_data_sizes == right.training_data_sizes
+        assert left.annotation_stats == right.annotation_stats
+        assert set(left.outcomes) == set(right.outcomes)
+        for source, outcome in left.outcomes.items():
+            other = right.outcomes[source]
+            assert outcome.threshold == other.threshold
+            assert outcome.n_above == other.n_above
+            assert outcome.n_annotated == other.n_annotated
+            np.testing.assert_array_equal(
+                outcome.true_positive_positions, other.true_positive_positions
+            )
+            np.testing.assert_array_equal(
+                outcome.above_positions, other.above_positions
+            )
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("study-cache"))
+
+
+@pytest.fixture(scope="module")
+def cold_study(cache_dir):
+    return run_study(StudyConfig.tiny(), cache_dir=cache_dir)
+
+
+def test_cold_run_executes_everything(cold_study):
+    report = cold_study.run_report
+    assert report.n_cache_hits == 0
+    assert report.n_executed > 20  # corpus, vectorized, both task pipelines
+    names = {r.name for r in report.records}
+    for expected in (
+        "corpus", "vectorized", "seed:doxing", "al:doxing:0",
+        "evaluate:call_to_harassment", "annotate:doxing:pastes",
+        "result:call_to_harassment",
+    ):
+        assert expected in names
+
+
+def test_warm_run_executes_zero_stages(cold_study, cache_dir):
+    warm = run_study(StudyConfig.tiny(), cache_dir=cache_dir)
+    assert warm.run_report.n_executed == 0
+    assert warm.run_report.n_cache_hits > 0
+    _assert_results_identical(cold_study, warm)
+
+
+def test_uncached_run_matches_cached(cold_study):
+    plain = run_study(StudyConfig.tiny())
+    _assert_results_identical(cold_study, plain)
+
+
+def test_seed_change_invalidates_cache(cold_study, cache_dir):
+    other = run_study(StudyConfig.tiny(seed=11), cache_dir=cache_dir)
+    assert other.run_report.n_executed > 0
+    assert not np.array_equal(
+        other.results[Task.DOX].scores, cold_study.results[Task.DOX].scores
+    )
+
+
+def test_force_reruns_cached_stages(cold_study, cache_dir):
+    forced = run_study(StudyConfig.tiny(), cache_dir=cache_dir, force=True)
+    assert forced.run_report.n_cache_hits == 0
+    assert forced.run_report.n_executed == cold_study.run_report.n_executed
+    _assert_results_identical(cold_study, forced)
+
+
+def test_parallel_jobs_byte_identical(cold_study):
+    parallel = run_study(StudyConfig.tiny(), jobs=4)
+    _assert_results_identical(cold_study, parallel)
+
+
+def test_run_report_attached_and_renders(cold_study):
+    table = cold_study.run_report.render()
+    assert "corpus" in table
+    assert "result:doxing" in table

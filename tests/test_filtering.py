@@ -27,6 +27,28 @@ def test_config_validation():
         PipelineConfig(al_rounds=-1)
 
 
+@pytest.mark.parametrize("bad", [0.0, -0.1, 1.5])
+def test_config_rejects_bad_target_precision(bad):
+    with pytest.raises(ValueError, match="target_precision"):
+        PipelineConfig(target_precision=bad)
+
+
+@pytest.mark.parametrize("bad", [0, -5])
+def test_config_rejects_bad_spot_sample_size(bad):
+    with pytest.raises(ValueError, match="spot_sample_size"):
+        PipelineConfig(spot_sample_size=bad)
+
+
+@pytest.mark.parametrize("bad", [0, -1])
+def test_config_rejects_bad_model_epochs(bad):
+    with pytest.raises(ValueError, match="model_epochs"):
+        PipelineConfig(model_epochs=bad)
+
+
+def test_config_boundary_values_accepted():
+    PipelineConfig(target_precision=1.0, spot_sample_size=1, model_epochs=1)
+
+
 def test_pipeline_produces_outcomes_for_all_sources(tiny_study):
     for task in Task:
         result = tiny_study.results[task]

@@ -3,9 +3,18 @@
 import numpy as np
 import pytest
 
+from repro.annotation.annotator import CROWD_PROFILES
+from repro.annotation.crowdsource import CrowdsourcingService
 from repro.corpus.documents import Document, GroundTruth
+from repro.nlp.models.logreg import LogisticRegressionClassifier
 from repro.nlp.spans import SpanStrategy
-from repro.pipeline.filtering import FilterModel, FilteringPipeline, PipelineConfig
+from repro.pipeline.errors import PipelineError
+from repro.pipeline.filtering import (
+    FilterModel,
+    FilteringPipeline,
+    PipelineConfig,
+    TrainingState,
+)
 from repro.pipeline.vectorized import VectorizedCorpus
 from repro.types import Platform, Source, Task
 
@@ -92,6 +101,31 @@ def test_pipeline_alternative_span_strategy(tiny_study):
     result = FilteringPipeline(Task.DOX, config).run(tiny_study.vectorized)
     assert result.n_true_positive_total > 0
     tiny_study.vectorized.drop_view(128, SpanStrategy.HEAD_TAIL)
+
+
+def test_evaluate_single_class_raises_pipeline_error():
+    """Losing a class in the train split raises a structured PipelineError."""
+    docs = _mini_docs(n_pos=40, n_neg=10)
+    vc = VectorizedCorpus(docs, seed=1)
+    pipeline = FilteringPipeline(Task.CTH, PipelineConfig(seed=1, model_epochs=2))
+    # All-positive labels: whatever the eval split removes, training keeps
+    # only one class.
+    state = TrainingState(
+        labels={i: True for i in range(40)},
+        crowd_labels={i: True for i in range(30)},
+        crowd_batches=(),
+        crowd=CrowdsourcingService(CROWD_PROFILES[Task.CTH], seed=1),
+        classifier=LogisticRegressionClassifier(),
+    )
+    with pytest.raises(PipelineError) as excinfo:
+        pipeline._stage_evaluate(vc, state)
+    error = excinfo.value
+    assert isinstance(error, RuntimeError)  # backward-compatible hierarchy
+    assert error.task is Task.CTH
+    assert error.n_train_negative == 0
+    assert error.n_train_positive > 0
+    assert "al_per_bin" in str(error)
+    assert "call_to_harassment" in str(error)
 
 
 def test_pipeline_custom_max_tokens(tiny_study):
