@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint bench bench-tiny study cache-clean experiments examples clean
+.PHONY: install test lint lint-repro bench bench-tiny study cache-clean experiments examples clean
 
 CACHE_DIR ?= .study-cache
 
@@ -12,6 +12,11 @@ test:
 
 lint:
 	ruff check src tests
+
+# Determinism & stage-purity static analysis (rules DET001-DET003,
+# PUR001-PUR002); fails on findings not in .repro-lint-baseline.json.
+lint-repro:
+	PYTHONPATH=src python -m repro.cli lint src
 
 # Run the study on the staged execution engine; warm re-runs execute
 # zero stages.  Scale/parallelism: make study ARGS="--full --jobs 8".

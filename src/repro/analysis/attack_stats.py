@@ -55,7 +55,8 @@ def subtype_table(
     counts: dict[AttackSubtype, dict[Platform, int]] = {s: {} for s in AttackSubtype}
     for platform, docs in coded_by_platform.items():
         for doc in docs:
-            for subtype in set(doc.subtypes):
+            # dict.fromkeys: first-seen-order dedupe (set order is hash-salted)
+            for subtype in dict.fromkeys(doc.subtypes):
                 counts[subtype][platform] = counts[subtype].get(platform, 0) + 1
     return AttackTypeTable(sizes=sizes, counts=counts)
 

@@ -35,7 +35,8 @@ def gender_subtype_table(coded: Sequence[CodedDocument]) -> GenderSubtypeTable:
     for doc in coded:
         gender = infer_gender(doc.document.text)
         sizes[gender] += 1
-        for subtype in set(doc.subtypes):
+        # dict.fromkeys: first-seen-order dedupe (set order is hash-salted)
+        for subtype in dict.fromkeys(doc.subtypes):
             counts[subtype][gender] = counts[subtype].get(gender, 0) + 1
     return GenderSubtypeTable(sizes=sizes, counts=counts)
 

@@ -1,0 +1,43 @@
+"""Static analysis of the reproduction's determinism contract.
+
+The staged engine promises byte-identical study results across cache
+on/off and ``jobs=1`` vs ``jobs=N`` — a promise that rests on code
+conventions (named RNG streams, artifact-store-only I/O, no wall clock
+in keyed paths) that this package makes checkable on every diff:
+
+- :mod:`engine` parses each file once and runs every registered rule
+  over the shared AST, honouring ``# repro: noqa[RULE]`` suppressions;
+- :mod:`rules` holds the rule pack (``DET001``–``DET003`` determinism,
+  ``PUR001``–``PUR002`` stage purity);
+- :mod:`baseline` grandfathers pre-existing findings in a committed
+  JSON file so the CI gate only fails on *new* violations;
+- :mod:`report` renders findings ruff-style or as JSON for CI.
+
+Run it via ``repro lint [paths]`` or ``make lint-repro``.
+"""
+
+from repro.analysis.lint.baseline import Baseline, BaselineEntry
+from repro.analysis.lint.engine import (
+    FileContext,
+    Finding,
+    LintUsageError,
+    Rule,
+    all_rules,
+    lint_paths,
+    register,
+)
+from repro.analysis.lint.report import render_json, render_text
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "FileContext",
+    "Finding",
+    "LintUsageError",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "register",
+    "render_json",
+    "render_text",
+]

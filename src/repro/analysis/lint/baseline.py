@@ -1,0 +1,116 @@
+"""Committed-baseline support: grandfather old findings, gate new ones.
+
+The baseline is a JSON file committed at the repo root.  Each entry
+names a finding by ``(path, rule, snippet)`` — the stripped source line
+rather than a line number, so edits elsewhere in the file do not
+un-baseline it — plus a human ``justification`` explaining why the
+violation is tolerated.  ``repro lint`` then fails only on findings
+absent from the baseline, and ``--update-baseline`` rewrites the file:
+entries whose finding disappeared (the code was fixed) expire, new
+findings are added with a TODO justification for the author to fill in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Sequence
+
+from repro.analysis.lint.engine import Finding
+
+_TODO_JUSTIFICATION = "TODO: justify or fix"
+
+
+@dataclasses.dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    path: str
+    rule: str
+    snippet: str
+    justification: str = _TODO_JUSTIFICATION
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.path, self.rule, self.snippet)
+
+
+@dataclasses.dataclass(frozen=True)
+class BaselineSplit:
+    """How one lint run relates to the baseline."""
+
+    new: tuple[Finding, ...]  # findings the gate must fail on
+    baselined: tuple[Finding, ...]  # findings covered by an entry
+    stale: tuple[BaselineEntry, ...]  # entries whose finding is gone
+
+
+@dataclasses.dataclass(frozen=True)
+class Baseline:
+    """An ordered set of grandfathered findings."""
+
+    entries: tuple[BaselineEntry, ...] = ()
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path | None) -> "Baseline":
+        """Read a baseline file; a missing path means an empty baseline."""
+        if path is None or not pathlib.Path(path).exists():
+            return cls()
+        payload = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+        entries = tuple(
+            BaselineEntry(
+                path=raw["path"],
+                rule=raw["rule"],
+                snippet=raw["snippet"],
+                justification=raw.get("justification", _TODO_JUSTIFICATION),
+            )
+            for raw in payload.get("entries", ())
+        )
+        return cls(entries=entries)
+
+    def save(self, path: str | pathlib.Path) -> None:
+        payload = {
+            "version": 1,
+            "entries": [
+                dataclasses.asdict(entry)
+                for entry in sorted(self.entries, key=lambda e: e.key)
+            ],
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        pathlib.Path(path).write_text(text, encoding="utf-8")
+
+    def split(self, findings: Sequence[Finding]) -> BaselineSplit:
+        """Partition ``findings`` into new vs baselined, and expire stale."""
+        by_key = {entry.key: entry for entry in self.entries}
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        matched: set[tuple[str, str, str]] = set()
+        for finding in findings:
+            entry = by_key.get(finding.baseline_key)
+            if entry is None:
+                new.append(finding)
+            else:
+                baselined.append(finding)
+                matched.add(entry.key)
+        stale = tuple(e for e in self.entries if e.key not in matched)
+        return BaselineSplit(
+            new=tuple(new), baselined=tuple(baselined), stale=stale
+        )
+
+    def updated(self, findings: Sequence[Finding]) -> "Baseline":
+        """A baseline covering exactly ``findings``.
+
+        Justifications written by a human survive the rewrite; findings
+        seen for the first time get a TODO placeholder.
+        """
+        previous = {entry.key: entry for entry in self.entries}
+        fresh: dict[tuple[str, str, str], BaselineEntry] = {}
+        for finding in findings:
+            key = finding.baseline_key
+            if key in fresh:
+                continue
+            kept = previous.get(key)
+            fresh[key] = kept if kept is not None else BaselineEntry(
+                path=finding.path, rule=finding.rule, snippet=finding.snippet
+            )
+        return Baseline(entries=tuple(fresh[k] for k in sorted(fresh)))

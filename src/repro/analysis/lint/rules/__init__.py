@@ -1,0 +1,9 @@
+"""The rule pack.
+
+Importing this package registers every rule with the engine's registry;
+:func:`repro.analysis.lint.engine.all_rules` does so lazily.
+"""
+
+from repro.analysis.lint.rules import determinism, purity
+
+__all__ = ["determinism", "purity"]

@@ -1,0 +1,257 @@
+"""Stage-purity rules: PUR001 (no side I/O), PUR002 (no mutable globals).
+
+A *stage function* is any function this file hands to ``Engine.add`` —
+as a bare name, a ``self.method`` reference, or wrapped in
+``functools.partial`` — plus, by repo convention, any function named
+``_stage_*``.  The engine caches, reorders, and parallelizes stage
+calls freely; that is only sound when a stage touches nothing but its
+arguments, its named RNG streams, and the artifact store.
+
+Detection is per-file and syntactic: a function passed to an engine in
+*another* module, or reached only through helpers, is not traced.  The
+``_stage_*`` naming convention exists precisely so the common case
+stays visible to this pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.engine import FileContext, Finding, Rule, register
+
+_STAGE_NAME_PREFIX = "_stage_"
+_SHARED_KEY = "purity.stage_functions"
+
+#: ``pathlib.Path`` mutation methods flagged inside stage functions.
+#: ``rename``/``replace`` are omitted on purpose: the attribute names
+#: collide with ``str`` methods and cannot be distinguished statically.
+_PATH_MUTATORS = frozenset({
+    "write_text", "write_bytes", "mkdir", "touch", "unlink", "rmdir",
+    "symlink_to", "hardlink_to", "chmod",
+})
+
+#: Filesystem-mutating module functions (resolved through import aliases).
+_MODULE_MUTATORS = frozenset({
+    "os.remove", "os.unlink", "os.rename", "os.replace", "os.rmdir",
+    "os.removedirs", "os.mkdir", "os.makedirs", "os.chmod", "os.symlink",
+    "os.link", "os.truncate",
+    "shutil.rmtree", "shutil.copy", "shutil.copy2", "shutil.copyfile",
+    "shutil.copytree", "shutil.move",
+})
+
+
+def _callable_name(node: ast.expr) -> str | None:
+    """The referenced function's bare name (unwraps functools.partial)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, (ast.Name, ast.Attribute))
+        and (
+            node.func.attr if isinstance(node.func, ast.Attribute)
+            else node.func.id
+        ) == "partial"
+        and node.args
+    ):
+        return _callable_name(node.args[0])
+    return None
+
+
+def _receiver_is_engine(node: ast.expr) -> bool:
+    """True for ``engine.add`` / ``self.engine.add`` style receivers."""
+    if isinstance(node, ast.Name):
+        return "engine" in node.id.lower()
+    if isinstance(node, ast.Attribute):
+        return "engine" in node.attr.lower()
+    return False
+
+
+def stage_function_names(ctx: FileContext) -> frozenset[str]:
+    """Names of functions this file registers as engine stages.
+
+    Computed once per file and shared between the purity rules via
+    ``ctx.shared``.
+    """
+    cached = ctx.shared.get(_SHARED_KEY)
+    if cached is not None:
+        return cached  # type: ignore[return-value]
+    names: set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name.startswith(_STAGE_NAME_PREFIX):
+                names.add(node.name)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "add"
+            and _receiver_is_engine(node.func.value)
+        ):
+            fn_node: ast.expr | None = None
+            if len(node.args) >= 2:
+                fn_node = node.args[1]
+            else:
+                for keyword in node.keywords:
+                    if keyword.arg == "fn":
+                        fn_node = keyword.value
+            if fn_node is not None:
+                name = _callable_name(fn_node)
+                if name is not None:
+                    names.add(name)
+    result = frozenset(names)
+    ctx.shared[_SHARED_KEY] = result
+    return result
+
+
+def _stage_defs(ctx: FileContext) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    wanted = stage_function_names(ctx)
+    if not wanted:
+        return
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name in wanted
+        ):
+            yield node
+
+
+@register
+class StageSideIO(Rule):
+    """PUR001: stage outputs flow through the artifact store, full stop.
+
+    A stage that opens files or mutates the filesystem behind the
+    engine's back breaks cache equivalence twice over: a warm run skips
+    the side effect entirely, and a parallel run reorders it.  The
+    ``ArtifactStore`` codecs are the one sanctioned write path.
+    """
+
+    id = "PUR001"
+    summary = "stage function performs side I/O"
+    hint = (
+        "return the value and let the stage's ArtifactStore codec persist "
+        "it (engine.store is the only sanctioned write path)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for stage in _stage_defs(ctx):
+            for node in ast.walk(stage):
+                if not isinstance(node, ast.Call):
+                    continue
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id == "open"
+                    and ctx.is_builtin("open")
+                ):
+                    yield ctx.finding(
+                        self, node,
+                        f"stage `{stage.name}` calls builtin `open()`",
+                    )
+                    continue
+                resolved = ctx.resolve_imported(node.func)
+                if resolved in _MODULE_MUTATORS:
+                    yield ctx.finding(
+                        self, node,
+                        f"stage `{stage.name}` calls filesystem mutator "
+                        f"`{resolved}`",
+                    )
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _PATH_MUTATORS
+                ):
+                    yield ctx.finding(
+                        self, node,
+                        f"stage `{stage.name}` calls path mutator "
+                        f"`.{node.func.attr}()`",
+                    )
+
+
+@register
+class StageMutableGlobal(Rule):
+    """PUR002: stage functions must not read module-level mutable state.
+
+    A module-level dict/list/set read inside a stage is invisible to the
+    stage's cache key, so mutating it changes results without changing
+    any key — the exact drift the engine exists to prevent.  ALL_CAPS
+    module constants are exempt by convention (treated as frozen).
+    """
+
+    id = "PUR002"
+    summary = "stage function reads a module-level mutable global"
+    hint = (
+        "pass the value in as a stage input or key material, or rename it "
+        "to ALL_CAPS and treat it as immutable"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        mutable = self._mutable_globals(ctx)
+        if not mutable:
+            return
+        for stage in _stage_defs(ctx):
+            local = self._local_bindings(stage)
+            seen: set[str] = set()
+            for node in ast.walk(stage):
+                if (
+                    isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                    and node.id in mutable
+                    and node.id not in local
+                    and node.id not in seen
+                ):
+                    seen.add(node.id)
+                    yield ctx.finding(
+                        self, node,
+                        f"stage `{stage.name}` reads mutable module global "
+                        f"`{node.id}`",
+                    )
+
+    @staticmethod
+    def _mutable_globals(ctx: FileContext) -> set[str]:
+        mutable: set[str] = set()
+        for node in ctx.tree.body:
+            if isinstance(node, ast.Assign):
+                targets = [t for t in node.targets if isinstance(t, ast.Name)]
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                targets = [node.target]
+                value = node.value
+            else:
+                continue
+            if value is None or not _is_mutable_literal(ctx, value):
+                continue
+            for target in targets:
+                if not target.id.isupper():
+                    mutable.add(target.id)
+        return mutable
+
+    @staticmethod
+    def _local_bindings(stage: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+        args = stage.args
+        local = {
+            a.arg
+            for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        }
+        for extra in (args.vararg, args.kwarg):
+            if extra is not None:
+                local.add(extra.arg)
+        for node in ast.walk(stage):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                local.add(node.id)
+        return local
+
+
+def _is_mutable_literal(ctx: FileContext, node: ast.expr) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set,
+                         ast.DictComp, ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        name = node.func.id
+        if name in ("dict", "list", "set") and ctx.is_builtin(name):
+            return True
+        resolved = ctx.resolve_imported(node.func)
+        return resolved in (
+            "collections.defaultdict", "collections.Counter",
+            "collections.OrderedDict", "collections.deque",
+        )
+    return False

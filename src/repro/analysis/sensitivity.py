@@ -20,6 +20,7 @@ from repro.pipeline.results import PipelineResult
 from repro.taxonomy.attack_types import AttackType
 from repro.taxonomy.coding import ExpertCoder
 from repro.types import Platform, Source
+from repro.util.rng import make_rng
 
 
 @dataclasses.dataclass(frozen=True)
@@ -71,7 +72,7 @@ def threshold_sensitivity(
     if not thresholds:
         raise ValueError("need at least one threshold")
     coder = coder or ExpertCoder()
-    rng = np.random.default_rng(seed)
+    rng = make_rng(seed)
     docs = result.documents
     scores = result.scores
     shares: dict[float, dict[Platform, dict[AttackType, float]]] = {}

@@ -7,6 +7,8 @@ Subcommands::
     repro study     [--tiny/--full] [--seed N] [--cache-dir DIR]
                     [--jobs N] [--force] [--report-dir DIR]
     repro cache     ls|clear --cache-dir DIR
+    repro lint      [paths...] [--select/--ignore IDS] [--baseline FILE]
+                    [--update-baseline] [--format text|json]
     repro train     --corpus corpus.jsonl --task dox|cth --out model.npz
     repro score     --model model.npz [--text "..."] [--file posts.txt]
     repro assess    --text "..."      (taxonomy coding + PII + harm risks)
@@ -18,7 +20,9 @@ study on the staged execution engine — per-stage checkpointing to
 cache-hit summary table; ``cache`` inspects or empties a stage cache;
 ``train``/``score`` cover the deployment loop the paper's §3 release
 intent describes; ``assess`` runs the rule-based analysis layers on a
-single text.
+single text; ``lint`` runs the determinism & stage-purity static
+analysis (rules DET001–DET003, PUR001–PUR002) and fails on findings not
+grandfathered in the committed baseline.
 """
 
 from __future__ import annotations
@@ -129,8 +133,6 @@ def cmd_study(args) -> int:
 
 
 def cmd_cache(args) -> int:
-    import time
-
     from repro.engine import ArtifactStore
     from repro.util.tables import format_table
 
@@ -143,19 +145,54 @@ def cmd_cache(args) -> int:
     if not entries:
         print(f"cache at {args.cache_dir} is empty")
         return 0
-    rows = [
-        (
-            e.stage,
-            e.key[:12],
-            f"{e.n_bytes:,}",
-            time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(e.modified)),
-        )
-        for e in entries
-    ]
-    print(format_table(("stage", "key", "bytes", "modified"), rows))
+    # Stage-sorted, no wall-clock column: two listings of the same cache
+    # are byte-identical, so `repro cache ls` output is diffable across
+    # runs and machines.
+    rows = [(e.stage, e.key[:12], f"{e.n_bytes:,}") for e in entries]
+    print(format_table(("stage", "key", "bytes"), rows))
     total = sum(e.n_bytes for e in entries)
     print(f"\n{len(entries)} artifacts, {total:,} bytes")
     return 0
+
+
+def _parse_rule_list(value: str | None) -> tuple[str, ...] | None:
+    if value is None:
+        return None
+    rules = tuple(part.strip().upper() for part in value.split(",") if part.strip())
+    return rules or None
+
+
+def cmd_lint(args) -> int:
+    from repro.analysis.lint import (
+        Baseline,
+        LintUsageError,
+        lint_paths,
+        render_json,
+        render_text,
+    )
+
+    try:
+        findings = lint_paths(
+            args.paths or ["src"],
+            select=_parse_rule_list(args.select),
+            ignore=_parse_rule_list(args.ignore),
+        )
+    except LintUsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    baseline_path = pathlib.Path(args.baseline)
+    baseline = Baseline.load(baseline_path)
+    if args.update_baseline:
+        baseline.updated(findings).save(baseline_path)
+        print(
+            f"baseline updated: {len(findings)} finding(s) recorded in "
+            f"{baseline_path}"
+        )
+        return 0
+    split = baseline.split(findings)
+    render = render_json if args.format == "json" else render_text
+    print(render(split.new, stale=split.stale, n_baselined=len(split.baselined)))
+    return 1 if split.new else 0
 
 
 def _parse_jobs(value: str) -> int:
@@ -293,6 +330,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument("action", choices=("ls", "clear"))
     p_cache.add_argument("--cache-dir", required=True)
     p_cache.set_defaults(func=cmd_cache)
+
+    p_lint = sub.add_parser(
+        "lint", help="determinism & stage-purity static analysis"
+    )
+    p_lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src)",
+    )
+    p_lint.add_argument(
+        "--select", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    p_lint.add_argument(
+        "--ignore", default=None,
+        help="comma-separated rule ids to skip",
+    )
+    p_lint.add_argument(
+        "--baseline", default=".repro-lint-baseline.json",
+        help="JSON baseline of grandfathered findings",
+    )
+    p_lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to cover current findings "
+        "(expires entries whose finding was fixed)",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json for the CI gate)",
+    )
+    p_lint.set_defaults(func=cmd_lint)
 
     p_train = sub.add_parser("train", help="train a filter model from a JSONL corpus")
     p_train.add_argument("--corpus", required=True)

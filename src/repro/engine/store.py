@@ -149,6 +149,8 @@ class ArtifactStore:
         return codec.load(self.path_for(stage, key, codec.extension))
 
     def entries(self) -> list[ArtifactEntry]:
+        """Cached artifacts sorted by (stage, key) — a stable, diffable
+        order independent of directory enumeration and mtimes."""
         found: list[ArtifactEntry] = []
         for path in sorted(self.root.iterdir()):
             match = _FILENAME_RE.match(path.name)
@@ -164,7 +166,7 @@ class ArtifactStore:
                     modified=stat.st_mtime,
                 )
             )
-        return found
+        return sorted(found, key=lambda e: (e.stage, e.key))
 
     def clear(self, stages: Iterable[str] | None = None) -> int:
         """Delete cached artifacts (optionally only for some stages)."""

@@ -32,7 +32,8 @@ def stable_hash(*parts: object) -> int:
 
 def make_rng(seed: int) -> np.random.Generator:
     """Create a root generator from an integer seed."""
-    return np.random.default_rng(seed & _MASK64)
+    # The sanctioned constructor DET001 funnels everyone else through.
+    return np.random.default_rng(seed & _MASK64)  # repro: noqa[DET001]
 
 
 def child_rng(seed: int, *name: object) -> np.random.Generator:
@@ -41,4 +42,4 @@ def child_rng(seed: int, *name: object) -> np.random.Generator:
     ``child_rng(seed, "boards", 3)`` always yields the same stream for the
     same arguments, and streams for distinct names are independent.
     """
-    return np.random.default_rng(stable_hash(seed, *name))
+    return np.random.default_rng(stable_hash(seed, *name))  # repro: noqa[DET001]

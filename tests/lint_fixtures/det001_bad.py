@@ -1,0 +1,18 @@
+# ruff: noqa
+"""DET001 positive fixture: every flavour of global-RNG call."""
+
+import random
+import numpy as np
+from random import shuffle
+from numpy.random import default_rng
+
+
+def roll():
+    random.seed(42)               # stdlib global state
+    value = random.choice([1, 2, 3])
+    np.random.seed(0)             # numpy legacy global state
+    noise = np.random.rand(4)
+    rng = default_rng(7)          # resolved through `from numpy.random import`
+    deck = [1, 2, 3]
+    shuffle(deck)                 # resolved through `from random import`
+    return value, noise, rng, deck

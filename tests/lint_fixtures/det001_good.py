@@ -1,0 +1,12 @@
+# ruff: noqa
+"""DET001 negative fixture: randomness flows through repro.util.rng."""
+
+from repro.util.rng import child_rng, make_rng
+
+
+def roll(seed):
+    root = make_rng(seed)
+    sampler = child_rng(seed, "fixture", "roll")
+    # A local variable named `random` must not be mistaken for the module.
+    random = {"choice": 3}
+    return root.integers(10), sampler.normal(), random["choice"]

@@ -1,0 +1,14 @@
+# ruff: noqa
+"""DET002 positive fixture: wall clock, uuid, and salted hash."""
+
+import time
+import uuid
+from datetime import datetime
+
+
+def stamp(text):
+    started = time.time()
+    today = datetime.now()
+    token = uuid.uuid4()
+    bucket = hash(text) % 64
+    return started, today, token, bucket

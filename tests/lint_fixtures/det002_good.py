@@ -1,0 +1,15 @@
+# ruff: noqa
+"""DET002 negative fixture: timing and hashing done the deterministic way."""
+
+import time
+from datetime import datetime, timezone
+
+from repro.util.rng import stable_hash
+
+
+def stamp(text, config_timestamp):
+    started = time.perf_counter()     # timing reports are fine
+    fixed = datetime.fromtimestamp(config_timestamp, tz=timezone.utc)
+    bucket = stable_hash(text) % 64   # process-stable hashing
+    elapsed = time.perf_counter() - started
+    return fixed, bucket, elapsed

@@ -1,0 +1,13 @@
+# ruff: noqa
+"""DET003 positive fixture: unordered iteration reaching outputs."""
+
+import json
+
+
+def serialize(items, mapping, handle):
+    for item in set(items):                    # loop over a bare set
+        handle.write(item)
+    names = [str(x) for x in {"b", "a"}]       # comprehension over a set literal
+    order = list(set(items))                   # materializes hash order
+    handle.write(",".join(frozenset(items)))   # sink fed a set directly
+    return json.dumps(mapping.keys()), names, order

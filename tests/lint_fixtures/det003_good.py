@@ -1,0 +1,15 @@
+# ruff: noqa
+"""DET003 negative fixture: every unordered source is sorted first."""
+
+import json
+
+
+def serialize(items, mapping, handle):
+    for item in sorted(set(items)):
+        handle.write(item)
+    names = [str(x) for x in sorted({"b", "a"})]
+    order = sorted(set(items))
+    handle.write(",".join(sorted(frozenset(items))))
+    if "a" in set(items):  # membership tests never observe order
+        names.append("a")
+    return json.dumps(sorted(mapping.keys())), names, order

@@ -1,0 +1,12 @@
+# ruff: noqa
+"""Suppression fixture: one targeted noqa, one bare noqa, one miss."""
+
+import random
+import time
+
+
+def sample():
+    a = random.random()  # repro: noqa[DET001]
+    b = time.time()  # repro: noqa
+    c = random.random()  # repro: noqa[DET002] - wrong id: DET001 still fires
+    return a, b, c

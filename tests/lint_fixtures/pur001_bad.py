@@ -1,0 +1,22 @@
+# ruff: noqa
+"""PUR001 positive fixture: stage functions doing side I/O."""
+
+import os
+import pathlib
+
+
+def _stage_dump(corpus):           # stage by naming convention
+    with open("corpus.txt", "w") as handle:
+        handle.write(str(corpus))
+    return corpus
+
+
+def build(engine, report):
+    def write_report():            # stage by registration below
+        path = pathlib.Path("report.txt")
+        path.write_text(report)
+        os.makedirs("out", exist_ok=True)
+        return report
+
+    engine.add("dump", _stage_dump)
+    engine.add("report", write_report)

@@ -1,0 +1,18 @@
+# ruff: noqa
+"""PUR001 negative fixture: pure stages; I/O stays outside the graph."""
+
+import pathlib
+
+
+def _stage_count(corpus):
+    return len(corpus)
+
+
+def save_summary(path, summary):   # not a stage: free to write files
+    pathlib.Path(path).write_text(summary)
+    with open(path) as handle:
+        return handle.read()
+
+
+def build(engine):
+    engine.add("count", _stage_count)

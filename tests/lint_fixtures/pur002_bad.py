@@ -1,0 +1,18 @@
+# ruff: noqa
+"""PUR002 positive fixture: stage reads module-level mutable state."""
+
+import functools
+
+_cache = {}
+_log = []
+
+
+def _stage_lookup(token):
+    if token in _cache:            # read of a mutable module global
+        return _cache[token]
+    _log.append(token)             # and another
+    return None
+
+
+def build(engine):
+    engine.add("lookup", functools.partial(_stage_lookup, "x"))

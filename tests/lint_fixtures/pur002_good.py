@@ -1,0 +1,19 @@
+# ruff: noqa
+"""PUR002 negative fixture: constants and locals only."""
+
+VOCABULARY = {"a": 1, "b": 2}      # ALL_CAPS: frozen by convention
+
+
+def _stage_lookup(token, table):
+    local = {}                      # locals are fine
+    local[token] = VOCABULARY.get(token)
+    return table.get(token, local)
+
+
+def helper(extra):                  # not a stage: may read anything
+    mutable = {"x": 1}
+    return mutable.get(extra)
+
+
+def build(engine, table):
+    engine.add("lookup", lambda: _stage_lookup("a", table))

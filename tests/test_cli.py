@@ -113,6 +113,17 @@ def test_study_warm_cache_and_cache_commands(tmp_path, capsys):
     assert main(["cache", "ls", "--cache-dir", str(cache)]) == 0
     out = capsys.readouterr().out
     assert "artifacts" in out and "corpus" in out
+
+    # Diffable listing: stable (stage, key) order, byte sizes, and no
+    # wall-clock column, so two listings of one cache are byte-identical.
+    assert main(["cache", "ls", "--cache-dir", str(cache)]) == 0
+    assert capsys.readouterr().out == out
+    header, first_row = out.splitlines()[0], out.splitlines()[2]
+    assert "bytes" in header and "modified" not in header
+    stages = [line.split()[0] for line in out.splitlines()[2:-2] if line.strip()]
+    assert stages == sorted(stages)
+    assert first_row.split()[2].replace(",", "").isdigit()
+
     assert main(["cache", "clear", "--cache-dir", str(cache)]) == 0
     assert "removed" in capsys.readouterr().out
     assert main(["cache", "ls", "--cache-dir", str(cache)]) == 0

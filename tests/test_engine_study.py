@@ -86,6 +86,25 @@ def test_parallel_jobs_byte_identical(cold_study):
     _assert_results_identical(cold_study, parallel)
 
 
+def test_coded_tables_byte_identical_across_runs(cold_study):
+    """The DET003 dogfood fix (set -> dict.fromkeys dedupe in the coded
+    tables) keeps downstream analyses byte-identical, not just equal:
+    repr equality pins dict insertion order, which is what artifact
+    serialization would observe."""
+    from repro.analysis.attack_stats import attack_type_table, subtype_table
+    from repro.analysis.gender_stats import gender_subtype_table
+
+    plain = run_study(StudyConfig.tiny())
+    for build in (attack_type_table, subtype_table):
+        left = build(cold_study.coded_cth_by_platform)
+        right = build(plain.coded_cth_by_platform)
+        assert left == right
+        assert repr(left) == repr(right)
+    assert repr(gender_subtype_table(cold_study.coded_cth)) == repr(
+        gender_subtype_table(plain.coded_cth)
+    )
+
+
 def test_run_report_attached_and_renders(cold_study):
     table = cold_study.run_report.render()
     assert "corpus" in table
