@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint lint-repro bench bench-tiny study cache-clean experiments examples clean
+.PHONY: install test lint lint-repro bench bench-tiny study cache-clean verify-cache test-recovery experiments examples clean
 
 CACHE_DIR ?= .study-cache
 
@@ -25,6 +25,16 @@ study:
 
 cache-clean:
 	rm -rf $(CACHE_DIR) benchmarks/.study-cache
+
+# Checksum-audit every cached artifact; exits non-zero when any would
+# need quarantine-and-recompute on its next load.
+verify-cache:
+	PYTHONPATH=src python -m repro.cli cache verify --cache-dir $(CACHE_DIR)
+
+# Fault-injection suite: corrupts, truncates, and flakes cached runs and
+# asserts recovered results are byte-identical to clean ones.
+test-recovery:
+	PYTHONPATH=src python -m pytest tests/test_engine_recovery.py -q
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -5,8 +5,8 @@ Subcommands::
     repro generate  --out corpus.jsonl [--tiny/--full] [--seed N]
     repro run       [--tiny/--full] [--seed N] [--report-dir DIR]
     repro study     [--tiny/--full] [--seed N] [--cache-dir DIR]
-                    [--jobs N] [--force] [--report-dir DIR]
-    repro cache     ls|clear --cache-dir DIR
+                    [--jobs N] [--force] [--retries N] [--report-dir DIR]
+    repro cache     ls|clear|verify --cache-dir DIR
     repro lint      [paths...] [--select/--ignore IDS] [--baseline FILE]
                     [--update-baseline] [--format text|json]
     repro train     --corpus corpus.jsonl --task dox|cth --out model.npz
@@ -16,8 +16,9 @@ Subcommands::
 ``generate`` writes a synthetic corpus as JSONL; ``run`` executes the full
 study and prints the paper-vs-measured reports; ``study`` runs the same
 study on the staged execution engine — per-stage checkpointing to
-``--cache-dir``, a stage thread pool via ``--jobs``, and a wall-time /
-cache-hit summary table; ``cache`` inspects or empties a stage cache;
+``--cache-dir``, a stage thread pool via ``--jobs``, stage retries via
+``--retries``, and a wall-time / cache-hit summary table; ``cache``
+inspects, integrity-verifies, or empties a stage cache;
 ``train``/``score`` cover the deployment loop the paper's §3 release
 intent describes; ``assess`` runs the rule-based analysis layers on a
 single text; ``lint`` runs the determinism & stage-purity static
@@ -110,13 +111,15 @@ def cmd_study(args) -> int:
         cache_dir=args.cache_dir,
         jobs=args.jobs,
         force=args.force,
+        retries=args.retries,
     )
     report = study.run_report
     print(report.render())
     print()
+    recovered = f"{report.n_recovered} recovered, " if report.n_recovered else ""
     print(
         f"stages: {report.n_executed} executed, {report.n_cache_hits} cache hits, "
-        f"{report.total_seconds:.2f}s stage time"
+        f"{recovered}{report.total_seconds:.2f}s stage time"
     )
     print()
     print(render_table3(study.results))
@@ -133,13 +136,32 @@ def cmd_study(args) -> int:
 
 
 def cmd_cache(args) -> int:
-    from repro.engine import ArtifactStore
+    from repro.engine import ArtifactStore, verify_cache
     from repro.util.tables import format_table
 
     store = ArtifactStore(args.cache_dir)
     if args.action == "clear":
         removed = store.clear()
         print(f"removed {removed} cached artifacts from {args.cache_dir}")
+        return 0
+    if args.action == "verify":
+        report = verify_cache(store)
+        if not report.findings:
+            print(f"cache at {args.cache_dir} is empty")
+            return 0
+        rows = [(f.filename, f.status) for f in report.findings]
+        print(format_table(("artifact", "status"), rows))
+        print(
+            f"\n{report.count('ok')} ok, {report.count('corrupt')} corrupt, "
+            f"{report.count('missing')} missing, "
+            f"{report.count('unmanifested')} unmanifested"
+        )
+        if not report.ok:
+            print(
+                "corrupt/missing artifacts will be quarantined and recomputed "
+                "on the next run that needs them"
+            )
+            return 1
         return 0
     entries = store.entries()
     if not entries:
@@ -200,6 +222,13 @@ def _parse_jobs(value: str) -> int:
     if jobs < 1:
         raise argparse.ArgumentTypeError(f"--jobs must be >= 1, got {jobs}")
     return jobs
+
+
+def _parse_retries(value: str) -> int:
+    retries = int(value)
+    if retries < 0:
+        raise argparse.ArgumentTypeError(f"--retries must be >= 0, got {retries}")
+    return retries
 
 
 def _parse_task(value: str):
@@ -323,11 +352,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--force", action="store_true",
         help="re-run every stage even when its artifact is cached",
     )
+    p_study.add_argument(
+        "--retries", type=_parse_retries, default=0,
+        help="re-execute a transiently failing stage up to N extra times",
+    )
     p_study.add_argument("--report-dir", default=None)
     p_study.set_defaults(func=cmd_study)
 
-    p_cache = sub.add_parser("cache", help="inspect or empty a stage cache")
-    p_cache.add_argument("action", choices=("ls", "clear"))
+    p_cache = sub.add_parser(
+        "cache", help="inspect, verify, or empty a stage cache"
+    )
+    p_cache.add_argument("action", choices=("ls", "clear", "verify"))
     p_cache.add_argument("--cache-dir", required=True)
     p_cache.set_defaults(func=cmd_cache)
 

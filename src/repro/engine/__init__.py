@@ -5,13 +5,17 @@ active-learning → threshold → expert-annotation stages; at that scale
 every stage is a separately checkpointed, re-runnable job.  This package
 provides the execution substrate for the reproduction's equivalent:
 content-hashed cache keys (:mod:`repro.engine.keys`), a disk-backed
-artifact store with per-type codecs (:mod:`repro.engine.store`), and a
-demand-driven scheduler with per-stage observability
-(:mod:`repro.engine.core`).
+artifact store with per-type codecs and checksum manifests
+(:mod:`repro.engine.store`), a demand-driven scheduler with per-stage
+observability (:mod:`repro.engine.core`), and a self-healing layer —
+artifact integrity verification, quarantine-and-recompute, stage retry
+policies, and a deterministic fault-injection harness
+(:mod:`repro.engine.recovery`, :mod:`repro.engine.faults`).
 """
 
 from repro.engine.core import (
     STATUS_HIT,
+    STATUS_RECOVERED,
     STATUS_RUN,
     Engine,
     RunOutcome,
@@ -20,6 +24,13 @@ from repro.engine.core import (
     StageRecord,
 )
 from repro.engine.keys import canonicalize, fingerprint
+from repro.engine.recovery import (
+    ArtifactIntegrityError,
+    CacheManifest,
+    RetryPolicy,
+    VerifyReport,
+    verify_cache,
+)
 from repro.engine.store import (
     CORPUS,
     FILTER_MODEL,
@@ -41,6 +52,12 @@ __all__ = [
     "StageRecord",
     "STATUS_RUN",
     "STATUS_HIT",
+    "STATUS_RECOVERED",
+    "ArtifactIntegrityError",
+    "CacheManifest",
+    "RetryPolicy",
+    "VerifyReport",
+    "verify_cache",
     "canonicalize",
     "fingerprint",
     "ArtifactEntry",

@@ -16,6 +16,14 @@ a codec for its output artifact.  ``run(targets)`` then:
 Because stage keys chain through their inputs' keys, results are
 identical with caching on or off, and with ``jobs=1`` or ``jobs=N`` —
 every stage is a pure function of its inputs plus named RNG streams.
+
+The engine is also self-healing: a cached artifact that fails checksum
+verification or whose codec raises on load is quarantined and the stage
+(plus only the upstream subgraph it actually needs) is transparently
+re-executed — the run completes with the stage marked
+``STATUS_RECOVERED`` instead of aborting.  A :class:`RetryPolicy` bounds
+re-execution of transiently failing stage functions; attempt counts are
+recorded per stage.  See :mod:`repro.engine.recovery`.
 """
 
 from __future__ import annotations
@@ -27,12 +35,14 @@ from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from typing import Callable, Mapping, Sequence
 
 from repro.engine.keys import fingerprint
+from repro.engine.recovery import RetryPolicy
 from repro.engine.store import PICKLE, ArtifactStore, Codec
 from repro.util.tables import format_table
 
 #: Stage completion statuses recorded in the run report.
 STATUS_RUN = "run"  # executed (cache miss or caching off)
 STATUS_HIT = "hit"  # artifact loaded from the store
+STATUS_RECOVERED = "recovered"  # cached artifact failed, quarantined + re-executed
 
 
 @dataclasses.dataclass(frozen=True)
@@ -55,6 +65,9 @@ class StageRecord:
     status: str
     seconds: float
     key: str
+    #: Stage-function executions this resolution took (1 = first try;
+    #: >1 means the retry policy absorbed transient failures).
+    attempts: int = 1
 
 
 @dataclasses.dataclass(frozen=True)
@@ -72,6 +85,10 @@ class RunReport:
         return sum(1 for r in self.records if r.status == STATUS_HIT)
 
     @property
+    def n_recovered(self) -> int:
+        return sum(1 for r in self.records if r.status == STATUS_RECOVERED)
+
+    @property
     def total_seconds(self) -> float:
         return sum(r.seconds for r in self.records)
 
@@ -83,14 +100,14 @@ class RunReport:
 
     def render(self) -> str:
         rows = [
-            (r.name, r.status, f"{r.seconds:.3f}", r.key[:12])
+            (r.name, r.status, f"{r.seconds:.3f}", str(r.attempts), r.key[:12])
             for r in self.records
         ]
-        rows.append((
-            f"total ({self.n_executed} run / {self.n_cache_hits} hit)",
-            "", f"{self.total_seconds:.3f}", "",
-        ))
-        return format_table(("stage", "status", "seconds", "key"), rows)
+        summary = f"total ({self.n_executed} run / {self.n_cache_hits} hit"
+        if self.n_recovered:
+            summary += f" / {self.n_recovered} recovered"
+        rows.append((summary + ")", "", f"{self.total_seconds:.3f}", "", ""))
+        return format_table(("stage", "status", "seconds", "tries", "key"), rows)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -112,12 +129,14 @@ class Engine:
         store: ArtifactStore | None = None,
         jobs: int = 1,
         force: bool = False,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.store = store
         self.jobs = jobs
         self.force = force
+        self.retry = retry or RetryPolicy()
         self._stages: dict[str, Stage] = {}
         self._keys: dict[str, str] = {}
 
@@ -201,35 +220,130 @@ class Engine:
 
         values: dict[str, object] = {}
         records: dict[str, StageRecord] = {}
+        # Stages resolved *outside* the plan — upstream recomputes forced
+        # by a quarantined artifact — are recorded here so recovery work
+        # is visible in the report.
+        extras: dict[str, StageRecord] = {}
+        extras_lock = threading.Lock()
+
+        def record_extra(record: StageRecord) -> None:
+            with extras_lock:
+                extras.setdefault(record.name, record)
+
         if self.jobs == 1 or len(order) <= 1:
             for name in order:
-                values[name], records[name] = self._resolve(name, plan[name], values)
+                values[name], records[name] = self._resolve(
+                    name, plan[name], values, record_extra
+                )
         else:
-            self._run_parallel(order, plan, values, records)
-        report = RunReport(records=tuple(records[name] for name in order))
-        return RunOutcome(values=values, report=report)
+            self._run_parallel(order, plan, values, records, record_extra)
+        ordered = [records[name] for name in order]
+        ordered.extend(extras[n] for n in sorted(extras) if n not in records)
+        return RunOutcome(values=values, report=RunReport(records=tuple(ordered)))
+
+    def _execute(
+        self, stage: Stage, input_values: Sequence[object]
+    ) -> tuple[object, int]:
+        """Run a stage function under the retry policy; returns
+        (value, attempts taken)."""
+        attempt = 1
+        while True:
+            try:
+                return stage.fn(*input_values), attempt
+            except BaseException as exc:
+                if attempt >= self.retry.max_attempts or not self.retry.retryable(exc):
+                    raise
+                delay = self.retry.delay(attempt)
+                if delay > 0:
+                    time.sleep(delay)
+                attempt += 1
+
+    def _try_load(self, name: str, key: str, stage: Stage) -> tuple[object, bool]:
+        """Load a cached artifact; on integrity/codec failure, quarantine
+        the file and report failure instead of raising."""
+        try:
+            return self.store.load(name, key, stage.codec), True
+        except Exception:
+            self.store.quarantine(self.store.path_for(name, key, stage.codec.extension))
+            return None, False
+
+    def _compute_and_save(
+        self, name: str, key: str, stage: Stage, input_values: Sequence[object]
+    ) -> tuple[object, int]:
+        value, attempts = self._execute(stage, input_values)
+        if stage.cacheable and self.store is not None:
+            self.store.save(name, key, stage.codec, value)
+        return value, attempts
+
+    def _demand(
+        self,
+        name: str,
+        memo: dict[str, object],
+        record_extra: Callable[[StageRecord], None],
+    ) -> object:
+        """Resolve one upstream stage on demand during recovery.
+
+        The planner pruned this stage (its consumer was a cache hit), so
+        resolve it now: load its artifact when intact, quarantine and
+        recompute otherwise, recursing only into the inputs that are
+        actually needed.  ``memo`` carries already-resolved values so a
+        diamond-shaped subgraph computes each stage once.
+        """
+        if name in memo:
+            return memo[name]
+        stage = self._stages[name]
+        key = self.key_of(name)
+        started = time.perf_counter()
+        status = STATUS_RUN
+        attempts = 1
+        value, loaded = None, False
+        if (
+            stage.cacheable
+            and self.store is not None
+            and not self.force
+            and self.store.has(name, key, stage.codec.extension)
+        ):
+            value, loaded = self._try_load(name, key, stage)
+            status = STATUS_HIT if loaded else STATUS_RECOVERED
+        if not loaded:
+            inputs = [self._demand(dep, memo, record_extra) for dep in stage.inputs]
+            value, attempts = self._compute_and_save(name, key, stage, inputs)
+        memo[name] = value
+        record_extra(StageRecord(
+            name=name, status=status, seconds=time.perf_counter() - started,
+            key=key, attempts=attempts,
+        ))
+        return value
 
     def _resolve(
-        self, name: str, status: str, values: Mapping[str, object]
+        self,
+        name: str,
+        status: str,
+        values: Mapping[str, object],
+        record_extra: Callable[[StageRecord], None],
     ) -> tuple[object, StageRecord]:
         stage = self._stages[name]
         key = self.key_of(name)
         started = time.perf_counter()
+        attempts = 1
         if status == STATUS_HIT:
-            try:
-                value = self.store.load(name, key, stage.codec)
-            except Exception as exc:
-                path = self.store.path_for(name, key, stage.codec.extension)
-                raise RuntimeError(
-                    f"cached artifact for stage '{name}' is unreadable "
-                    f"({path}): {exc}; clear the cache or re-run with force"
-                ) from exc
+            value, loaded = self._try_load(name, key, stage)
+            if not loaded:
+                # Quarantine-and-recompute: the artifact was moved aside;
+                # re-execute this stage plus only the upstream subgraph
+                # it needs (the planner pruned those as leaves).
+                status = STATUS_RECOVERED
+                memo = dict(values)
+                inputs = [self._demand(dep, memo, record_extra) for dep in stage.inputs]
+                value, attempts = self._compute_and_save(name, key, stage, inputs)
         else:
-            value = stage.fn(*(values[dep] for dep in stage.inputs))
-            if stage.cacheable and self.store is not None:
-                self.store.save(name, key, stage.codec, value)
+            value, attempts = self._compute_and_save(
+                name, key, stage, [values[dep] for dep in stage.inputs]
+            )
         elapsed = time.perf_counter() - started
-        return value, StageRecord(name=name, status=status, seconds=elapsed, key=key)
+        return value, StageRecord(
+            name=name, status=status, seconds=elapsed, key=key, attempts=attempts
+        )
 
     def _run_parallel(
         self,
@@ -237,6 +351,7 @@ class Engine:
         plan: Mapping[str, str],
         values: dict[str, object],
         records: dict[str, StageRecord],
+        record_extra: Callable[[StageRecord], None],
     ) -> None:
         # Cache hits have no scheduling dependencies: their inputs are
         # pruned from the plan entirely.
@@ -256,7 +371,7 @@ class Engine:
         def resolve(name: str) -> tuple[object, StageRecord]:
             with lock:
                 snapshot = dict(values)
-            return self._resolve(name, plan[name], snapshot)
+            return self._resolve(name, plan[name], snapshot, record_extra)
 
         with ThreadPoolExecutor(max_workers=self.jobs) as pool:
             while pending or running:

@@ -1,0 +1,118 @@
+"""Deterministic fault injection for exercising the recovery layer.
+
+The recovery tests need to *manufacture* the failures a long pipeline
+run eventually sees — bit rot in a cached artifact, a write truncated by
+a kill, a stage that fails transiently N times — and they need to do so
+deterministically so a recovered run can be asserted byte-identical to a
+clean one.  Nothing here draws randomness: corruption sites are explicit
+byte offsets and failure counts are explicit integers.
+
+These helpers are test infrastructure shipped in the package (like the
+paper-constant tables) so downstream users can fault-test their own
+stage graphs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import threading
+from typing import Callable
+
+from repro.engine.store import Codec
+
+
+def flip_bytes(
+    path: pathlib.Path | str,
+    offsets: tuple[int, ...] = (0,),
+    mask: int = 0xFF,
+) -> None:
+    """XOR the byte at each offset with ``mask`` (negative offsets count
+    from the end).  Simulates bit rot without changing the file size, so
+    only checksum verification — not a length check — can catch it."""
+    path = pathlib.Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        raise ValueError(f"cannot flip bytes of empty file {path}")
+    if mask == 0:
+        raise ValueError("mask 0 would leave the file unchanged")
+    for offset in offsets:
+        data[offset % len(data)] ^= mask
+    path.write_bytes(bytes(data))
+
+
+def truncate_file(
+    path: pathlib.Path | str, keep_fraction: float = 0.5
+) -> None:
+    """Drop the tail of a file, as a killed writer would have left it."""
+    if not 0 <= keep_fraction < 1:
+        raise ValueError("keep_fraction must be in [0, 1)")
+    path = pathlib.Path(path)
+    data = path.read_bytes()
+    path.write_bytes(data[: int(len(data) * keep_fraction)])
+
+
+class FlakyFunction:
+    """Wrap a stage function to fail its first ``failures`` calls.
+
+    Thread-safe (parallel engines call stage functions from a pool);
+    ``calls`` counts total invocations for assertions.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[..., object],
+        failures: int,
+        exc_type: type[BaseException] = RuntimeError,
+    ) -> None:
+        self._fn = fn
+        self._remaining = failures
+        self._exc_type = exc_type
+        self._lock = threading.Lock()
+        self.calls = 0
+
+    def __call__(self, *args: object) -> object:
+        with self._lock:
+            self.calls += 1
+            should_fail = self._remaining > 0
+            if should_fail:
+                self._remaining -= 1
+            n = self.calls
+        if should_fail:
+            raise self._exc_type(f"injected stage failure (call #{n})")
+        return self._fn(*args)
+
+
+def fail_n_times(
+    fn: Callable[..., object],
+    n: int,
+    exc_type: type[BaseException] = RuntimeError,
+) -> FlakyFunction:
+    """Convenience constructor for :class:`FlakyFunction`."""
+    return FlakyFunction(fn, failures=n, exc_type=exc_type)
+
+
+class FlakyCodec:
+    """Wrap a codec so its first ``load_failures`` loads raise.
+
+    Models a codec-level parse failure that checksum verification cannot
+    see (the bytes are intact, the reader is not) — the quarantine path
+    must catch both.
+    """
+
+    def __init__(self, inner: Codec, load_failures: int = 1) -> None:
+        self._inner = inner
+        self._remaining = load_failures
+        self._lock = threading.Lock()
+        self.extension = inner.extension
+
+    def save(self, value: object, path: pathlib.Path) -> None:
+        self._inner.save(value, path)
+
+    def load(self, path: pathlib.Path) -> object:
+        with self._lock:
+            should_fail = self._remaining > 0
+            if should_fail:
+                self._remaining -= 1
+        if should_fail:
+            raise OSError(f"injected codec load failure for {path.name}")
+        return self._inner.load(path)

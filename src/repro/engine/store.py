@@ -10,7 +10,11 @@ JSONL through :mod:`repro.corpus.io`, trained filter models as ``.npz``
 through :mod:`repro.nlp.serialize`, numpy score vectors as ``.npy``, and
 everything else (label states, result containers) as pickles.  Writes go
 through a temp file + ``os.replace`` so a crashed run never leaves a
-truncated artifact behind.
+truncated artifact behind, and every write records a content checksum in
+the cache manifest (:mod:`repro.engine.recovery`); ``load`` verifies it
+so corruption surfaces as :class:`ArtifactIntegrityError` instead of a
+codec misparse, and :meth:`ArtifactStore.quarantine` moves bad files
+aside for the engine's recompute path.
 """
 
 from __future__ import annotations
@@ -24,6 +28,14 @@ import threading
 from typing import Iterable, Protocol
 
 import numpy as np
+
+from repro.engine.recovery import (
+    MANIFEST_NAME,
+    QUARANTINE_DIR,
+    ArtifactIntegrityError,
+    CacheManifest,
+    checksum_file,
+)
 
 
 class Codec(Protocol):
@@ -124,6 +136,7 @@ class ArtifactStore:
     def __init__(self, root: str | os.PathLike) -> None:
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.manifest = CacheManifest(self.root / MANIFEST_NAME)
 
     def path_for(self, stage: str, key: str, extension: str) -> pathlib.Path:
         return self.root / f"{_sanitize(stage)}-{key}{extension}"
@@ -140,19 +153,58 @@ class ArtifactStore:
         )
         try:
             codec.save(value, tmp)
+            digest = checksum_file(tmp)
             os.replace(tmp, final)
         finally:
             tmp.unlink(missing_ok=True)
+        self.manifest.record(final.name, digest)
         return final
 
-    def load(self, stage: str, key: str, codec: Codec) -> object:
-        return codec.load(self.path_for(stage, key, codec.extension))
+    def load(self, stage: str, key: str, codec: Codec, verify: bool = True) -> object:
+        """Load an artifact, verifying its checksum against the manifest.
+
+        Unmanifested artifacts (caches predating the integrity layer)
+        load unverified; a checksum mismatch raises
+        :class:`ArtifactIntegrityError` before the codec touches the
+        bytes.
+        """
+        path = self.path_for(stage, key, codec.extension)
+        if verify:
+            expected = self.manifest.expected(path.name)
+            if expected is not None:
+                actual = checksum_file(path)
+                if actual != expected:
+                    raise ArtifactIntegrityError(path, expected, actual)
+        return codec.load(path)
+
+    def quarantine(self, path: pathlib.Path) -> pathlib.Path | None:
+        """Move a failed artifact into ``<root>/quarantine/`` for
+        post-mortem and drop its manifest entry; returns the new path
+        (None when the file already vanished)."""
+        path = pathlib.Path(path)
+        self.manifest.forget(path.name)
+        if not path.exists():
+            return None
+        qdir = self.root / QUARANTINE_DIR
+        qdir.mkdir(exist_ok=True)
+        dest = qdir / path.name
+        suffix = 0
+        while dest.exists():
+            suffix += 1
+            dest = qdir / f"{path.name}.{suffix}"
+        os.replace(path, dest)
+        return dest
 
     def entries(self) -> list[ArtifactEntry]:
         """Cached artifacts sorted by (stage, key) — a stable, diffable
-        order independent of directory enumeration and mtimes."""
+        order independent of directory enumeration and mtimes.  Leftover
+        ``.tmp-*`` files from killed runs are not artifacts and are
+        skipped (their names would otherwise satisfy the pattern with a
+        mangled stage prefix)."""
         found: list[ArtifactEntry] = []
         for path in sorted(self.root.iterdir()):
+            if path.name.startswith(".tmp-"):
+                continue
             match = _FILENAME_RE.match(path.name)
             if match is None or not path.is_file():
                 continue
@@ -168,13 +220,28 @@ class ArtifactStore:
             )
         return sorted(found, key=lambda e: (e.stage, e.key))
 
+    def sweep_temp_files(self) -> int:
+        """Delete stale ``.tmp-*`` droppings left by killed writers."""
+        removed = 0
+        for path in sorted(self.root.iterdir()):
+            if path.name.startswith(".tmp-") and path.is_file():
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
     def clear(self, stages: Iterable[str] | None = None) -> int:
-        """Delete cached artifacts (optionally only for some stages)."""
+        """Delete cached artifacts (optionally only for some stages),
+        dropping their manifest entries; a full clear also sweeps stale
+        temp files."""
         wanted = None if stages is None else {_sanitize(s) for s in stages}
         removed = 0
         for entry in self.entries():
             if wanted is not None and entry.stage not in wanted:
                 continue
             entry.path.unlink(missing_ok=True)
+            self.manifest.forget(entry.path.name)
             removed += 1
+        if wanted is None:
+            removed += self.sweep_temp_files()
+            self.manifest.prune_missing(self.root)
         return removed

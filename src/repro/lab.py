@@ -26,7 +26,7 @@ from typing import Mapping, Sequence
 
 from repro.corpus.documents import Corpus, Document
 from repro.corpus.generator import CorpusBuilder, CorpusConfig
-from repro.engine import CORPUS, ArtifactStore, Engine, RunReport
+from repro.engine import CORPUS, ArtifactStore, Engine, RetryPolicy, RunReport
 from repro.pipeline.filtering import FilteringPipeline, PipelineConfig
 from repro.pipeline.results import PipelineResult
 from repro.pipeline.vectorized import VectorizedCorpus
@@ -118,16 +118,24 @@ def run_study(
     cache_dir: str | None = None,
     jobs: int = 1,
     force: bool = False,
+    retries: int = 0,
+    retry_backoff: float = 0.0,
 ) -> Study:
     """Build the corpus and run both pipelines end to end.
 
     ``cache_dir`` enables the disk-backed stage cache (a warm re-run
     executes zero stages); ``jobs`` sizes the stage thread pool;
-    ``force`` re-runs every stage even when cached.
+    ``force`` re-runs every stage even when cached.  Corrupt or
+    truncated cached artifacts are quarantined and recomputed
+    transparently (``STATUS_RECOVERED`` in the run report); ``retries``
+    additionally re-executes transiently failing stages up to that many
+    extra times, backing off ``retry_backoff * 2**n`` seconds between
+    attempts.
     """
     config = config or StudyConfig()
     store = ArtifactStore(cache_dir) if cache_dir is not None else None
-    engine = Engine(store=store, jobs=jobs, force=force)
+    retry = RetryPolicy(max_attempts=retries + 1, backoff_base=retry_backoff)
+    engine = Engine(store=store, jobs=jobs, force=force, retry=retry)
     targets = build_study_graph(engine, config)
     outcome = engine.run(list(targets.values()))
     return Study(

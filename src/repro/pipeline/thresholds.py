@@ -86,6 +86,7 @@ def select_threshold(
 
     # Phase 1: raise until precision is workable (or the grid runs out).
     chosen_idx = 0
+    reached_target = False
     for idx, threshold in enumerate(grid):
         chosen_idx = idx
         above_count = int((scores > threshold).sum())
@@ -93,11 +94,16 @@ def select_threshold(
             chosen_idx = idx - 1
             break
         if probe(threshold) >= target_precision:
+            reached_target = True
             break
 
     # Phase 2: probe lower values; keep the lowest with similar precision.
+    # Only after phase 1 actually reached the target: when the grid was
+    # exhausted below target_precision, precision at `chosen` is already
+    # poor and "similar" precision at a lower threshold would walk the
+    # choice back toward 0.5 and make it strictly worse.
     chosen = grid[chosen_idx]
-    while chosen_idx > 0:
+    while reached_target and chosen_idx > 0:
         lower = grid[chosen_idx - 1]
         if probe(lower) >= precision_at[chosen] - lower_tolerance:
             chosen_idx -= 1

@@ -94,16 +94,42 @@ class HarassmentMonitor:
         self._campaign_alerted_at: dict[str, float] = {}
         #: target handle -> timestamp of last CTH detection
         self._last_cth_for_target: dict[str, float] = {}
+        #: newest timestamp seen, for evicting stale per-target state
+        self._watermark = float("-inf")
 
     # -- internals ------------------------------------------------------------
 
-    def _handles(self, text: str) -> list[str]:
+    def _handles(self, text: str) -> tuple[list[str], dict[str, list[str]]]:
+        """Target handles in ``text``, plus the full PII extraction they
+        came from (so callers never re-extract)."""
         extracted = extract_pii(text)
-        return [
+        handles = [
             f"{category}:{value.lower()}"
             for category in _OSN
             for value in extracted.get(category, ())
         ]
+        return handles, extracted
+
+    def _evict_stale_targets(self) -> None:
+        """Drop per-target state older than the campaign window.
+
+        Every decision below only ever compares stored timestamps
+        against ``now - window``, so anything older can never influence
+        an alert again — evicting it bounds memory by the number of
+        *active* targets rather than by stream history.
+        """
+        horizon = self._watermark - self.config.campaign_window_seconds
+        for table in (self._campaign_alerted_at, self._last_cth_for_target):
+            stale = [handle for handle, ts in table.items() if ts < horizon]
+            for handle in stale:
+                del table[handle]
+        stale = [
+            handle
+            for handle, activity in self._target_activity.items()
+            if not activity or activity[-1][0] < horizon
+        ]
+        for handle in stale:
+            del self._target_activity[handle]
 
     def _note_target_activity(
         self, handle: str, message: StreamMessage
@@ -136,11 +162,12 @@ class HarassmentMonitor:
         alerts: list[Alert] = []
         for message, cth_score, dox_score in zip(messages, cth_scores, dox_scores):
             self.stats.messages_processed += 1
+            self._watermark = max(self._watermark, message.timestamp)
             is_cth = cth_score > self.config.cth_threshold
             is_dox = dox_score > self.config.dox_threshold
             if not is_cth and not is_dox:
                 continue
-            handles = self._handles(message.text)
+            handles, extracted = self._handles(message.text)
             if is_cth:
                 self.stats.cth_detected += 1
                 subtypes = ", ".join(str(s) for s in self._coder.code_text(message.text))
@@ -158,7 +185,7 @@ class HarassmentMonitor:
                     AlertKind.DOX, message.message_id, message.timestamp,
                     float(dox_score),
                     target_handle=handles[0] if handles else None,
-                    detail=f"pii: {', '.join(extract_pii(message.text)) or 'none'}",
+                    detail=f"pii: {', '.join(extracted) or 'none'}",
                 ))
                 for handle in handles:
                     last_cth = self._last_cth_for_target.get(handle)
@@ -185,6 +212,7 @@ class HarassmentMonitor:
                         target_handle=handle,
                         detail=f"{count} detections against target in window",
                     ))
+        self._evict_stale_targets()
         return alerts
 
     def run(self, stream: Iterable[StreamMessage], batch_size: int = 256) -> list[Alert]:

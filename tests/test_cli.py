@@ -128,3 +128,39 @@ def test_study_warm_cache_and_cache_commands(tmp_path, capsys):
     assert "removed" in capsys.readouterr().out
     assert main(["cache", "ls", "--cache-dir", str(cache)]) == 0
     assert "empty" in capsys.readouterr().out
+
+
+def test_cache_verify_reports_corruption(tmp_path, capsys):
+    import numpy as np
+
+    from repro.engine import NUMPY, ArtifactStore
+    from repro.engine.faults import flip_bytes
+
+    cache = tmp_path / "cache"
+    store = ArtifactStore(cache)
+    store.save("stage:a", "ab" * 16, NUMPY, np.arange(16))
+    good = store.save("stage:b", "cd" * 16, NUMPY, np.arange(4))
+
+    assert main(["cache", "verify", "--cache-dir", str(cache)]) == 0
+    out = capsys.readouterr().out
+    assert "2 ok, 0 corrupt" in out
+
+    flip_bytes(good, offsets=(-1,))
+    assert main(["cache", "verify", "--cache-dir", str(cache)]) == 1
+    out = capsys.readouterr().out
+    assert "1 ok, 1 corrupt" in out and "quarantined and recomputed" in out
+
+    assert main(["cache", "clear", "--cache-dir", str(cache)]) == 0
+    capsys.readouterr()
+    assert main(["cache", "verify", "--cache-dir", str(cache)]) == 0
+    assert "empty" in capsys.readouterr().out
+
+
+def test_study_retries_flag_validation():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    args = parser.parse_args(["study", "--tiny", "--retries", "2"])
+    assert args.retries == 2
+    with pytest.raises(SystemExit):
+        parser.parse_args(["study", "--tiny", "--retries", "-1"])

@@ -1,0 +1,414 @@
+"""Fault-injection tests for the engine's self-healing layer.
+
+Every test manufactures a failure deterministically (`repro.engine.faults`),
+lets the engine heal, and asserts the healed run is byte-identical to a
+clean one — the acceptance bar for the recovery layer.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    NUMPY,
+    PICKLE,
+    STATUS_HIT,
+    STATUS_RECOVERED,
+    STATUS_RUN,
+    ArtifactIntegrityError,
+    ArtifactStore,
+    CacheManifest,
+    Engine,
+    RetryPolicy,
+    verify_cache,
+)
+from repro.engine.faults import FlakyCodec, fail_n_times, flip_bytes, truncate_file
+from repro.engine.recovery import (
+    VERIFY_CORRUPT,
+    VERIFY_MISSING,
+    VERIFY_OK,
+    VERIFY_UNMANIFESTED,
+    checksum_file,
+)
+
+
+# -- fault harness -------------------------------------------------------------
+
+
+def test_flip_bytes_is_deterministic_and_size_preserving(tmp_path):
+    path = tmp_path / "artifact.bin"
+    path.write_bytes(bytes(range(16)))
+    flip_bytes(path, offsets=(0, -1), mask=0xFF)
+    data = path.read_bytes()
+    assert len(data) == 16
+    assert data[0] == 0x00 ^ 0xFF and data[-1] == 0x0F ^ 0xFF
+    assert data[1:-1] == bytes(range(1, 15))
+    flip_bytes(path, offsets=(0, -1), mask=0xFF)  # involution: restores
+    assert path.read_bytes() == bytes(range(16))
+
+
+def test_flip_bytes_rejects_noop_faults(tmp_path):
+    path = tmp_path / "artifact.bin"
+    path.write_bytes(b"")
+    with pytest.raises(ValueError):
+        flip_bytes(path)
+    path.write_bytes(b"x")
+    with pytest.raises(ValueError):
+        flip_bytes(path, mask=0)
+
+
+def test_truncate_file(tmp_path):
+    path = tmp_path / "artifact.bin"
+    path.write_bytes(bytes(100))
+    truncate_file(path, keep_fraction=0.3)
+    assert path.stat().st_size == 30
+    with pytest.raises(ValueError):
+        truncate_file(path, keep_fraction=1.0)
+
+
+def test_fail_n_times_counts_calls():
+    flaky = fail_n_times(lambda: "ok", 2, exc_type=OSError)
+    with pytest.raises(OSError):
+        flaky()
+    with pytest.raises(OSError):
+        flaky()
+    assert flaky() == "ok"
+    assert flaky.calls == 3
+
+
+# -- manifest + integrity ------------------------------------------------------
+
+
+def test_manifest_roundtrip(tmp_path):
+    manifest = CacheManifest(tmp_path / "manifest.json")
+    assert manifest.expected("a.pkl") is None
+    manifest.record("a.pkl", "ab" * 16)
+    assert manifest.expected("a.pkl") == "ab" * 16
+    manifest.forget("a.pkl")
+    assert manifest.expected("a.pkl") is None
+    manifest.forget("never-there.pkl")  # harmless
+
+
+def test_save_records_checksum_and_load_verifies(tmp_path):
+    store = ArtifactStore(tmp_path)
+    key = "cd" * 16
+    path = store.save("stage", key, NUMPY, np.arange(8))
+    assert store.manifest.expected(path.name) == checksum_file(path)
+
+    flip_bytes(path, offsets=(-1,))  # a data byte: parseable, but wrong
+    with pytest.raises(ArtifactIntegrityError):
+        store.load("stage", key, NUMPY)
+    # Unverified load goes straight to the codec (legacy behaviour).
+    np.asarray(store.load("stage", key, NUMPY, verify=False))
+
+
+def test_unmanifested_artifact_loads_without_verification(tmp_path):
+    # Caches written before the integrity layer existed have no manifest
+    # entries; they must keep loading.
+    store = ArtifactStore(tmp_path)
+    key = "ef" * 16
+    path = store.save("stage", key, PICKLE, {"x": 1})
+    store.manifest.forget(path.name)
+    assert store.load("stage", key, PICKLE) == {"x": 1}
+
+
+def test_quarantine_moves_file_and_forgets_manifest(tmp_path):
+    store = ArtifactStore(tmp_path)
+    key = "aa" * 16
+    path = store.save("stage", key, PICKLE, 1)
+    dest = store.quarantine(path)
+    assert dest.parent == tmp_path / "quarantine"
+    assert not path.exists()
+    assert store.manifest.expected(path.name) is None
+    # Re-quarantining a same-named file does not clobber the first.
+    store.save("stage", key, PICKLE, 2)
+    dest2 = store.quarantine(path)
+    assert dest2 != dest and dest2.exists() and dest.exists()
+    assert store.quarantine(path) is None  # already gone
+
+
+def test_verify_cache_statuses(tmp_path):
+    store = ArtifactStore(tmp_path)
+    ok = store.save("good", "11" * 16, PICKLE, 1)
+    corrupt = store.save("bad", "22" * 16, PICKLE, 2)
+    unmanifested = store.save("old", "33" * 16, PICKLE, 3)
+    missing = store.save("gone", "44" * 16, PICKLE, 4)
+    flip_bytes(corrupt, offsets=(-1,))
+    store.manifest.forget(unmanifested.name)
+    missing.unlink()
+
+    report = verify_cache(store)
+    by_name = {f.filename: f.status for f in report.findings}
+    assert by_name[ok.name] == VERIFY_OK
+    assert by_name[corrupt.name] == VERIFY_CORRUPT
+    assert by_name[unmanifested.name] == VERIFY_UNMANIFESTED
+    assert by_name[missing.name] == VERIFY_MISSING
+    assert not report.ok
+    assert report.count(VERIFY_OK) == 1
+
+    store.clear()
+    assert verify_cache(ArtifactStore(tmp_path)).findings == ()
+
+
+# -- quarantine-and-recompute --------------------------------------------------
+
+
+def _array_engine(store=None, calls=None, **kwargs):
+    """A small diamond graph over numpy arrays (byte-comparable outputs)."""
+    calls = calls if calls is not None else []
+    engine = Engine(store=store, **kwargs)
+
+    def tracked(name, fn):
+        def wrapped(*inputs):
+            calls.append(name)
+            return fn(*inputs)
+
+        return wrapped
+
+    a = engine.add("a", tracked("a", lambda: np.arange(32.0)), codec=NUMPY)
+    b = engine.add("b", tracked("b", lambda x: x * 2), inputs=(a,), codec=NUMPY)
+    c = engine.add("c", tracked("c", lambda x: x + 1), inputs=(a,), codec=NUMPY)
+    d = engine.add(
+        "d", tracked("d", lambda x, y: np.concatenate([x, y])), inputs=(b, c),
+        codec=NUMPY,
+    )
+    return engine, calls, d
+
+
+@pytest.mark.parametrize("fault", ["flip", "truncate"])
+def test_corrupt_target_quarantined_and_recomputed(tmp_path, fault):
+    store = ArtifactStore(tmp_path)
+    engine, _, d = _array_engine(store=store)
+    clean = np.asarray(engine.run([d]).values[d])
+
+    path = store.path_for("d", engine.key_of("d"), NUMPY.extension)
+    if fault == "flip":
+        flip_bytes(path, offsets=(100,))
+    else:
+        truncate_file(path, keep_fraction=0.5)
+
+    engine2, calls2, d2 = _array_engine(store=store)
+    outcome = engine2.run([d2])
+    np.testing.assert_array_equal(np.asarray(outcome.values[d2]), clean)
+    record = outcome.report.record("d")
+    assert record.status == STATUS_RECOVERED
+    assert record.attempts == 1
+    assert outcome.report.n_recovered == 1
+    assert calls2 == ["d"]  # inputs loaded from cache, not recomputed
+    assert [p.name for p in (tmp_path / "quarantine").iterdir()] == [path.name]
+    # The rewritten artifact is intact: next run is a pure cache hit.
+    assert verify_cache(store).ok
+    engine3, calls3, d3 = _array_engine(store=store)
+    assert engine3.run([d3]).report.record("d").status == STATUS_HIT
+    assert calls3 == []
+
+
+def test_corrupt_upstream_cascade_recovery(tmp_path):
+    # Both the target and one of its pruned upstream inputs are corrupt:
+    # recovery must walk the subgraph, quarantining and recomputing only
+    # what it needs, and report every recovered stage.
+    store = ArtifactStore(tmp_path)
+    engine, _, d = _array_engine(store=store)
+    clean = np.asarray(engine.run([d]).values[d])
+
+    flip_bytes(store.path_for("d", engine.key_of("d"), NUMPY.extension))
+    truncate_file(store.path_for("b", engine.key_of("b"), NUMPY.extension), 0.25)
+
+    engine2, calls2, d2 = _array_engine(store=store)
+    outcome = engine2.run([d2])
+    np.testing.assert_array_equal(np.asarray(outcome.values[d2]), clean)
+    status = {r.name: r.status for r in outcome.report.records}
+    assert status == {
+        "d": STATUS_RECOVERED,
+        "b": STATUS_RECOVERED,
+        "a": STATUS_HIT,  # demanded by b's recompute, loaded intact
+        "c": STATUS_HIT,
+    }
+    assert sorted(calls2) == ["b", "d"]
+    assert len(list((tmp_path / "quarantine").iterdir())) == 2
+    assert verify_cache(store).ok
+
+
+def test_codec_load_failure_recovers_even_with_intact_bytes(tmp_path):
+    # Bytes pass the checksum but the codec raises: the quarantine path
+    # must catch reader-level failures too.
+    calls = []
+    store = ArtifactStore(tmp_path)
+    engine = Engine(store=store)
+    flaky = FlakyCodec(PICKLE, load_failures=1)
+    s = engine.add("s", lambda: calls.append("s") or [1, 2, 3], codec=flaky)
+    first = engine.run([s])
+    assert first.values[s] == [1, 2, 3]
+
+    engine2 = Engine(store=store)
+    s2 = engine2.add("s", lambda: calls.append("s") or [1, 2, 3], codec=flaky)
+    outcome = engine2.run([s2])
+    assert outcome.values[s2] == [1, 2, 3]
+    assert outcome.report.record("s").status == STATUS_RECOVERED
+    assert calls == ["s", "s"]
+
+
+def test_parallel_run_with_faults_matches_sequential_clean_run(tmp_path):
+    store = ArtifactStore(tmp_path)
+    engine, _, d = _array_engine(store=store)
+    clean_bytes = pickle.dumps(np.asarray(engine.run([d]).values[d]).tobytes())
+
+    for stage in ("b", "c", "d"):
+        flip_bytes(store.path_for(stage, engine.key_of(stage), NUMPY.extension))
+
+    engine2, _, d2 = _array_engine(store=store, jobs=4)
+    outcome = engine2.run([d2])
+    assert pickle.dumps(np.asarray(outcome.values[d2]).tobytes()) == clean_bytes
+    assert outcome.report.record("d").status == STATUS_RECOVERED
+    assert verify_cache(store).ok
+
+
+# -- retry policy --------------------------------------------------------------
+
+
+def test_retry_policy_validation_and_backoff():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_base=-1)
+    policy = RetryPolicy(max_attempts=4, backoff_base=0.5)
+    assert [policy.delay(n) for n in (1, 2, 3)] == [0.5, 1.0, 2.0]
+
+
+def test_flaky_stage_succeeds_within_max_attempts():
+    engine = Engine(retry=RetryPolicy(max_attempts=3))
+    flaky = fail_n_times(lambda: 42, 2)
+    s = engine.add("s", flaky)
+    outcome = engine.run([s])
+    assert outcome.values[s] == 42
+    record = outcome.report.record("s")
+    assert record.status == STATUS_RUN and record.attempts == 3
+    assert flaky.calls == 3
+
+
+def test_flaky_stage_fails_cleanly_past_max_attempts():
+    engine = Engine(retry=RetryPolicy(max_attempts=3))
+    flaky = fail_n_times(lambda: 42, 3)
+    s = engine.add("s", flaky)
+    with pytest.raises(RuntimeError, match="injected stage failure"):
+        engine.run([s])
+    assert flaky.calls == 3  # exactly max_attempts, no runaway
+
+
+def test_default_policy_does_not_retry():
+    engine = Engine()
+    flaky = fail_n_times(lambda: 42, 1)
+    engine.add("s", flaky)
+    with pytest.raises(RuntimeError):
+        engine.run(["s"])
+    assert flaky.calls == 1
+
+
+def test_non_retryable_exceptions_raise_immediately():
+    engine = Engine(
+        retry=RetryPolicy(
+            max_attempts=5, retryable=lambda exc: not isinstance(exc, TypeError)
+        )
+    )
+    flaky = fail_n_times(lambda: 42, 3, exc_type=TypeError)
+    engine.add("s", flaky)
+    with pytest.raises(TypeError):
+        engine.run(["s"])
+    assert flaky.calls == 1
+
+
+def test_retry_applies_to_recovery_recompute(tmp_path):
+    # A quarantined artifact whose recompute is itself flaky: the retry
+    # policy covers the recovery path, and the attempt count lands in
+    # the recovered record.
+    store = ArtifactStore(tmp_path)
+    engine = Engine(store=store)
+    engine.add("s", lambda: 7)
+    engine.run(["s"])
+    flip_bytes(store.path_for("s", engine.key_of("s"), PICKLE.extension))
+
+    engine2 = Engine(store=store, retry=RetryPolicy(max_attempts=3))
+    flaky = fail_n_times(lambda: 7, 2)
+    engine2.add("s", flaky)
+    outcome = engine2.run(["s"])
+    assert outcome.values["s"] == 7
+    record = outcome.report.record("s")
+    assert record.status == STATUS_RECOVERED and record.attempts == 3
+
+
+def test_parallel_flaky_stages_match_sequential():
+    def build(**kwargs):
+        engine = Engine(retry=RetryPolicy(max_attempts=4), **kwargs)
+        flakies = [
+            engine.add(f"s{i}", fail_n_times(lambda i=i: np.full(8, i), i % 3))
+            for i in range(6)
+        ]
+        total = engine.add(
+            "total", lambda *xs: np.concatenate(xs), inputs=tuple(flakies)
+        )
+        return engine, total
+
+    seq_engine, seq_total = build(jobs=1)
+    par_engine, par_total = build(jobs=4)
+    seq = np.asarray(seq_engine.run([seq_total]).values[seq_total])
+    par = np.asarray(par_engine.run([par_total]).values[par_total])
+    np.testing.assert_array_equal(seq, par)
+    assert par_engine  # pool drained without deadlock
+
+
+def test_report_render_shows_tries_column():
+    engine = Engine(retry=RetryPolicy(max_attempts=2))
+    engine.add("s", fail_n_times(lambda: 1, 1))
+    text = engine.run(["s"]).report.render()
+    assert "tries" in text and "recovered" not in text
+
+
+# -- end-to-end: the study heals over a damaged cache --------------------------
+
+
+@pytest.fixture(scope="module")
+def damaged_study_cache(tmp_path_factory):
+    """A cold tiny study plus its cache directory, for damage tests."""
+    from repro.lab import StudyConfig, run_study
+
+    cache_dir = str(tmp_path_factory.mktemp("study-cache"))
+    study = run_study(StudyConfig.tiny(), cache_dir=cache_dir)
+    return study, cache_dir
+
+
+def _damage(cache_dir, stage_prefixes=("result_", "score_")):
+    """Bit-flip one artifact and truncate another, picked by stage name."""
+    store = ArtifactStore(cache_dir)
+    entries = store.entries()
+    flipped = next(e for e in entries if e.stage.startswith(stage_prefixes[0]))
+    truncated = next(e for e in entries if e.stage.startswith(stage_prefixes[1]))
+    flip_bytes(flipped.path, offsets=(-2,))
+    truncate_file(truncated.path, keep_fraction=0.5)
+    return flipped, truncated
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_study_recovers_over_damaged_cache(damaged_study_cache, jobs):
+    from tests.test_engine_study import _assert_results_identical
+
+    from repro.lab import StudyConfig, run_study
+
+    cold, cache_dir = damaged_study_cache
+    # Damage a result artifact (a warm target) and a score artifact (a
+    # pruned upstream the recovery walk must discover on its own).
+    flipped, truncated = _damage(cache_dir)
+
+    healed = run_study(StudyConfig.tiny(), cache_dir=cache_dir, jobs=jobs)
+    _assert_results_identical(cold, healed)
+
+    report = healed.run_report
+    recovered = {r.name for r in report.records if r.status == STATUS_RECOVERED}
+    assert recovered  # the damaged result stage healed in place
+    assert all(r.attempts == 1 for r in report.records)
+
+    quarantine = ArtifactStore(cache_dir).root / "quarantine"
+    names = {p.name.removesuffix(".1") for p in quarantine.iterdir()}
+    assert flipped.path.name in names
+    assert truncated.path.name in names
+    assert verify_cache(ArtifactStore(cache_dir)).ok

@@ -171,6 +171,61 @@ def test_monitor_run_over_stream(monitor_models, tiny_corpus):
     assert isinstance(alerts, list)
 
 
+def test_monitor_evicts_stale_target_state(monitor_models):
+    # Per-target dicts must not grow with stream history: a target whose
+    # last detection left the campaign window is dropped from all three
+    # tables, so memory is proportional to *active* targets.
+    monitor = _monitor(
+        monitor_models, campaign_min_messages=2, campaign_window_seconds=100.0
+    )
+    texts = [
+        CTH_TEXT.replace("targetuser99", f"stale_target_{i}") for i in range(10)
+    ]
+    for i, text in enumerate(texts):
+        monitor.process_batch([_msg(i, text, float(i))])
+        monitor.process_batch([_msg(100 + i, DOX_TEXT, float(i))])
+    assert len(monitor._target_activity) > 1
+
+    # One detection far in the future: every older target is stale.
+    monitor.process_batch([_msg(999, CTH_TEXT, 10_000.0)])
+    assert set(monitor._target_activity) == {"twitter:targetuser99"}
+    assert set(monitor._campaign_alerted_at) <= {"twitter:targetuser99"}
+    assert set(monitor._last_cth_for_target) == {"twitter:targetuser99"}
+
+
+def test_monitor_eviction_does_not_change_alerts(monitor_models):
+    # Alerts from a long stream are identical with eviction happening
+    # after every batch vs. one big batch (same decisions, less state).
+    msgs = [_msg(i, CTH_TEXT, i * 3600.0) for i in range(6)]
+    one_batch = _monitor(monitor_models).process_batch(msgs)
+    per_message = []
+    incremental = _monitor(monitor_models)
+    for m in msgs:
+        per_message += incremental.process_batch([m])
+    assert [(a.kind, a.message_id) for a in one_batch] == [
+        (a.kind, a.message_id) for a in per_message
+    ]
+
+
+def test_monitor_extracts_pii_once_per_message(monitor_models, monkeypatch):
+    import repro.service.monitor as monitor_module
+
+    calls = []
+    real = monitor_module.extract_pii
+
+    def counting(text):
+        calls.append(text)
+        return real(text)
+
+    monkeypatch.setattr(monitor_module, "extract_pii", counting)
+    monitor = _monitor(monitor_models)
+    alerts = monitor.process_batch([_msg(1, DOX_TEXT, 0.0)])
+    # The DOX detail string reuses the extraction made for handle
+    # linking rather than re-running the regex bank.
+    assert [a for a in alerts if a.kind is AlertKind.DOX]
+    assert len(calls) == 1
+
+
 def test_monitor_config_validation():
     with pytest.raises(ValueError):
         MonitorConfig(campaign_min_messages=1)

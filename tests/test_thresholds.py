@@ -87,6 +87,26 @@ def test_grid_exhaustion_picks_last(rng):
     assert decision.threshold in THRESHOLD_GRID
 
 
+def test_no_walk_down_when_target_never_reached(rng):
+    # Precision is uniformly hopeless: phase 1 exhausts the grid.  The
+    # phase-2 walk-down must not fire — "similar" precision to an
+    # already-failed threshold would walk the choice back to 0.5 and
+    # strictly grow the false-positive volume.
+    scores = rng.uniform(0.5, 1.0, 400)
+    truths = np.zeros(400, bool)
+    decision = select_threshold(scores, _oracle(truths), rng, target_precision=0.9)
+    assert decision.threshold == max(THRESHOLD_GRID)
+
+
+def test_walk_down_still_fires_after_success(rng):
+    # Guarding phase 2 must not disable it when phase 1 *did* reach the
+    # target: identical precision across the grid still prefers recall.
+    scores = np.concatenate([np.full(80, 0.99), np.full(80, 0.02)])
+    truths = np.concatenate([np.ones(80, bool), np.zeros(80, bool)])
+    decision = select_threshold(scores, _oracle(truths), rng, target_precision=0.9)
+    assert decision.threshold == min(THRESHOLD_GRID)
+
+
 def test_noisy_expert_annotation(rng):
     """The closure receives indices, so a noisy expert integrates cleanly."""
     scores, truths = _make_scores(rng)
