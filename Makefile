@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint lint-repro bench bench-tiny study cache-clean verify-cache test-recovery experiments examples clean
+.PHONY: install test lint lint-repro bench bench-tiny study cache-clean verify-cache test-recovery test-serve serve-bench experiments examples clean
 
 CACHE_DIR ?= .study-cache
 
@@ -35,6 +35,17 @@ verify-cache:
 # asserts recovered results are byte-identical to clean ones.
 test-recovery:
 	PYTHONPATH=src python -m pytest tests/test_engine_recovery.py -q
+
+# Serving runtime suite: shard-equivalence (shards x corpus profiles),
+# overload/backpressure accounting, micro-batcher and telemetry units.
+test-serve:
+	PYTHONPATH=src python -m pytest tests/test_serve_runtime.py tests/test_serve_telemetry.py -q
+
+# Deterministic load benchmark of the sharded serving runtime; writes
+# benchmarks/reports/BENCH_serve.json.  Scale: make serve-bench
+# ARGS="--shards 8 --rate 5000 --policy shed-newest".
+serve-bench:
+	PYTHONPATH=src python -m repro.cli serve-bench --tiny --shards 4 --check-equivalence $(ARGS)
 
 bench:
 	pytest benchmarks/ --benchmark-only

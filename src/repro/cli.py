@@ -9,6 +9,11 @@ Subcommands::
     repro cache     ls|clear|verify --cache-dir DIR
     repro lint      [paths...] [--select/--ignore IDS] [--baseline FILE]
                     [--update-baseline] [--format text|json]
+    repro serve-bench [--tiny/--full] [--seed N] [--shards N]
+                    [--batch-size N] [--max-delay-ms F] [--queue-capacity N]
+                    [--policy block|drop-oldest|shed-newest] [--rate F]
+                    [--burst-every N --burst-size N] [--jobs N]
+                    [--check-equivalence] [--report FILE]
     repro train     --corpus corpus.jsonl --task dox|cth --out model.npz
     repro score     --model model.npz [--text "..."] [--file posts.txt]
     repro assess    --text "..."      (taxonomy coding + PII + harm risks)
@@ -23,7 +28,11 @@ inspects, integrity-verifies, or empties a stage cache;
 intent describes; ``assess`` runs the rule-based analysis layers on a
 single text; ``lint`` runs the determinism & stage-purity static
 analysis (rules DET001–DET003, PUR001–PUR002) and fails on findings not
-grandfathered in the committed baseline.
+grandfathered in the committed baseline; ``serve-bench`` trains filters
+on one synthetic corpus, replays a second through the sharded
+``repro.serve`` runtime under a seeded open-loop load profile, prints an
+alert/latency/throughput summary, and writes a machine-readable JSON
+report (deterministic — the simulation never reads a wall clock).
 """
 
 from __future__ import annotations
@@ -217,6 +226,157 @@ def cmd_lint(args) -> int:
     return 1 if split.new else 0
 
 
+def _serve_models(args):
+    """Train CTH/dox filters on a history corpus, return a live stream too.
+
+    History uses ``--seed``, live traffic ``--seed + 1`` — the monitor
+    never sees the stream it is scored on during training.
+    """
+    from repro.corpus.generator import CorpusBuilder, CorpusConfig
+    from repro.nlp.features import HashingVectorizer
+    from repro.nlp.models.logreg import LogisticRegressionClassifier
+    from repro.service.stream import MessageStream
+    from repro.types import Platform, Task
+
+    def corpus_config(seed):
+        return CorpusConfig(seed=seed) if args.full else CorpusConfig.tiny(seed)
+
+    history = CorpusBuilder(corpus_config(args.seed)).build()
+    train_docs = [d for d in history if d.platform is not Platform.BLOGS]
+    vectorizer = HashingVectorizer()
+    features = vectorizer.transform_texts([d.text for d in train_docs])
+    models = {}
+    for task in Task:
+        labels = np.array([d.truth_for(task) for d in train_docs])
+        models[task] = LogisticRegressionClassifier(
+            epochs=args.epochs, seed=args.seed
+        ).fit(features, labels)
+    live = CorpusBuilder(corpus_config(args.seed + 1)).build()
+    stream = MessageStream([d for d in live if d.platform is not Platform.BLOGS])
+    return models, vectorizer, stream
+
+
+def cmd_serve_bench(args) -> int:
+    import json
+
+    from repro.serve import (
+        BackpressurePolicy,
+        LoadProfile,
+        ServeConfig,
+        ServingRuntime,
+        alert_sort_key,
+    )
+    from repro.service.monitor import HarassmentMonitor, MonitorConfig
+    from repro.types import Task
+    from repro.util.tables import format_table
+
+    models, vectorizer, stream = _serve_models(args)
+    monitor_config = MonitorConfig(
+        campaign_min_messages=args.campaign_min_messages
+    )
+
+    def monitor_factory():
+        return HarassmentMonitor(
+            models[Task.CTH], models[Task.DOX], vectorizer, monitor_config
+        )
+
+    config = ServeConfig(
+        n_shards=args.shards,
+        batch_size=args.batch_size,
+        max_delay_seconds=args.max_delay_ms / 1000.0,
+        queue_capacity=args.queue_capacity,
+        policy=BackpressurePolicy(args.policy),
+    )
+    profile = LoadProfile(
+        rate_per_second=args.rate,
+        burst_every=args.burst_every,
+        burst_size=args.burst_size,
+        seed=args.seed,
+    )
+    runtime = ServingRuntime(monitor_factory, config)
+    result = runtime.serve_stream(stream, profile, jobs=args.jobs)
+    report = result.as_dict()
+    report["load"] = {
+        "rate_per_second": profile.rate_per_second,
+        "burst_every": profile.burst_every,
+        "burst_size": profile.burst_size,
+        "seed": profile.seed,
+        "n_messages": len(stream),
+    }
+
+    if args.check_equivalence:
+        baseline = sorted(
+            monitor_factory().run(stream, batch_size=args.batch_size),
+            key=alert_sort_key,
+        )
+        if config.policy is not BackpressurePolicy.BLOCK:
+            report["equivalence"] = "skipped (lossy policy)"
+        elif result.alerts == baseline:
+            report["equivalence"] = "ok"
+        else:
+            report["equivalence"] = "FAILED"
+    else:
+        report["equivalence"] = "unchecked"
+
+    print(
+        f"served {len(stream):,} messages on {config.n_shards} shard(s) "
+        f"[policy={config.policy.value}, batch={config.batch_size}, "
+        f"rate={profile.rate_per_second:g}/s]\n"
+    )
+    print(format_table(
+        ("alert kind", "count"),
+        sorted(result.alert_counts().items()) or [("(none)", 0)],
+        title="Alerts",
+    ))
+    print()
+    merged_service = result.telemetry.merged_service_time()
+    merged_wait = result.telemetry.merged_queue_wait()
+    rows = []
+    for shard in result.telemetry.shards:
+        acct = shard.queue
+        rows.append((
+            f"shard {shard.shard_id}", shard.messages_scored, shard.batches,
+            acct.shed, acct.dropped, acct.max_depth,
+            f"{shard.service_time.quantile(0.5) * 1e3:.2f}",
+            f"{shard.service_time.quantile(0.99) * 1e3:.2f}",
+        ))
+    rows.append((
+        "fleet", result.telemetry.messages_scored,
+        sum(s.batches for s in result.telemetry.shards),
+        sum(s.queue.shed for s in result.telemetry.shards),
+        sum(s.queue.dropped for s in result.telemetry.shards),
+        max((s.queue.max_depth for s in result.telemetry.shards), default=0),
+        f"{merged_service.quantile(0.5) * 1e3:.2f}",
+        f"{merged_service.quantile(0.99) * 1e3:.2f}",
+    ))
+    print(format_table(
+        ("", "scored", "batches", "shed", "dropped", "max depth",
+         "p50 ms", "p99 ms"),
+        rows,
+        title="Shards",
+    ))
+    print()
+    print(
+        f"throughput: {result.telemetry.throughput_per_second:,.0f} msg/s "
+        f"over {result.telemetry.makespan_seconds:.2f}s simulated; "
+        f"queue wait p95 {merged_wait.quantile(0.95) * 1e3:.2f} ms; "
+        f"service p50/p95/p99 "
+        f"{merged_service.quantile(0.5) * 1e3:.2f}/"
+        f"{merged_service.quantile(0.95) * 1e3:.2f}/"
+        f"{merged_service.quantile(0.99) * 1e3:.2f} ms; "
+        f"unaccounted messages: {result.unaccounted}"
+    )
+    print(f"equivalence vs single monitor: {report['equivalence']}")
+
+    report_path = pathlib.Path(args.report)
+    report_path.parent.mkdir(parents=True, exist_ok=True)
+    report_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"report written to {report_path}")
+    if report["equivalence"] == "FAILED" or result.unaccounted:
+        return 1
+    return 0
+
+
 def _parse_jobs(value: str) -> int:
     jobs = int(value)
     if jobs < 1:
@@ -395,6 +555,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="report format (json for the CI gate)",
     )
     p_lint.set_defaults(func=cmd_lint)
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="benchmark the sharded serving runtime on a synthetic stream",
+    )
+    _add_scale_args(p_serve)
+    p_serve.add_argument(
+        "--shards", type=_parse_jobs, default=4, dest="shards",
+        help="number of worker shards (stable target-handle routing)",
+    )
+    p_serve.add_argument(
+        "--batch-size", type=_parse_jobs, default=64,
+        help="micro-batch flush size",
+    )
+    p_serve.add_argument(
+        "--max-delay-ms", type=float, default=50.0,
+        help="micro-batch flush deadline (simulated milliseconds)",
+    )
+    p_serve.add_argument(
+        "--queue-capacity", type=_parse_jobs, default=512,
+        help="bounded per-shard queue capacity (>= batch size)",
+    )
+    p_serve.add_argument(
+        "--policy", choices=("block", "drop-oldest", "shed-newest"),
+        default="block",
+        help="overload behaviour when a shard queue is full",
+    )
+    p_serve.add_argument(
+        "--rate", type=float, default=2000.0,
+        help="open-loop arrival rate (messages per simulated second)",
+    )
+    p_serve.add_argument(
+        "--burst-every", type=int, default=0,
+        help="inject a burst after every N regular arrivals (0 = off)",
+    )
+    p_serve.add_argument(
+        "--burst-size", type=int, default=0,
+        help="messages per injected burst (arrive simultaneously)",
+    )
+    p_serve.add_argument(
+        "--jobs", type=_parse_jobs, default=1,
+        help="simulate shards on a thread pool (identical results)",
+    )
+    p_serve.add_argument(
+        "--epochs", type=int, default=5,
+        help="training epochs for the benchmark filter models",
+    )
+    p_serve.add_argument(
+        "--campaign-min-messages", type=int, default=2,
+        help="campaign alert threshold for the benchmark monitors",
+    )
+    p_serve.add_argument(
+        "--check-equivalence", action="store_true",
+        help="also run a single monitor and verify merged alerts match",
+    )
+    p_serve.add_argument(
+        "--report", default="benchmarks/reports/BENCH_serve.json",
+        help="write the machine-readable JSON report here",
+    )
+    p_serve.set_defaults(func=cmd_serve_bench)
 
     p_train = sub.add_parser("train", help="train a filter model from a JSONL corpus")
     p_train.add_argument("--corpus", required=True)

@@ -1,0 +1,59 @@
+"""Sharded, micro-batching serving runtime for the moderation service.
+
+The deployment the paper's release intent implies (§3, §9.2) has to
+score messages *online* at ingest rate.  This package turns the
+single-object :class:`repro.service.HarassmentMonitor` into a serving
+fleet: a stable router partitions the stream across shards (keyed on
+the primary target handle so campaign/escalation state stays
+shard-local), each shard consumes a bounded queue through a
+micro-batcher with configurable overload policies, and telemetry plus a
+deterministic open-loop load generator make latency, throughput, and
+shed/drop behaviour measurable without ever reading a wall clock.
+
+``repro serve-bench`` drives it from the CLI; the headline invariant —
+merged sharded alerts identical to single-monitor output — is asserted
+in ``tests/test_serve_runtime.py``.
+"""
+
+from repro.serve.batching import MicroBatcher, ServiceCostModel
+from repro.serve.loadgen import Arrival, LoadProfile, generate_arrivals
+from repro.serve.queueing import (
+    BackpressurePolicy,
+    BoundedQueue,
+    QueueAccounting,
+    QueuedMessage,
+)
+from repro.serve.runtime import (
+    ServeConfig,
+    ServeResult,
+    ServingRuntime,
+    alert_sort_key,
+    routing_key,
+    shard_for,
+)
+from repro.serve.telemetry import (
+    LatencyHistogram,
+    ServeTelemetry,
+    ShardTelemetry,
+)
+
+__all__ = [
+    "Arrival",
+    "BackpressurePolicy",
+    "BoundedQueue",
+    "LatencyHistogram",
+    "LoadProfile",
+    "MicroBatcher",
+    "QueueAccounting",
+    "QueuedMessage",
+    "ServeConfig",
+    "ServeResult",
+    "ServeTelemetry",
+    "ServiceCostModel",
+    "ServingRuntime",
+    "ShardTelemetry",
+    "alert_sort_key",
+    "generate_arrivals",
+    "routing_key",
+    "shard_for",
+]

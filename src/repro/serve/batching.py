@@ -1,0 +1,100 @@
+"""Micro-batching policy: flush on size *or* simulated-time deadline.
+
+A shard server amortises vectorizer/model calls by scoring messages in
+batches, but a batch must not wait forever for stragglers: the batcher
+flushes as soon as either
+
+* ``batch_size`` messages are queued (throughput bound), or
+* the oldest queued message has waited ``max_delay_seconds`` of
+  simulated time (latency bound).
+
+The batcher is a pure decision function over queue state and the known
+future arrival times — it never reads a clock, so the whole serving
+simulation stays deterministic (DET002 by construction).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Sequence
+
+from repro.serve.queueing import BoundedQueue
+
+
+@dataclasses.dataclass(frozen=True)
+class MicroBatcher:
+    """Flush policy for one shard's queue."""
+
+    batch_size: int = 64
+    max_delay_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if not self.max_delay_seconds > 0:
+            raise ValueError(
+                f"max_delay_seconds must be positive, got {self.max_delay_seconds}"
+            )
+
+    def flush_time(
+        self, queue: BoundedQueue, upcoming_arrivals: Sequence[float]
+    ) -> float:
+        """Earliest simulated time the current head batch may flush.
+
+        ``upcoming_arrivals`` are the times of the next not-yet-enqueued
+        arrivals in order (only the first ``batch_size`` matter).  The
+        flush fires at whichever comes first: the arrival that would
+        complete a full batch, or the head message's latency deadline.
+        A deadline alone caps the flush when too few arrivals remain —
+        that is the drain path for a tail shorter than a batch.
+        """
+        if not len(queue):
+            raise ValueError("flush_time is undefined for an empty queue")
+        deadline = queue.enqueue_time_at(0) + self.max_delay_seconds
+        need = self.batch_size - len(queue)
+        if need <= 0:
+            # Already full: constrained only by when the youngest message
+            # that will ride in this batch actually arrived.
+            return queue.enqueue_time_at(self.batch_size - 1)
+        if need <= len(upcoming_arrivals):
+            return min(deadline, upcoming_arrivals[need - 1])
+        return deadline
+
+
+def _total_chars(texts: Sequence[str]) -> int:
+    return sum(len(t) for t in texts)
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceCostModel:
+    """Deterministic simulated service time for scoring one batch.
+
+    An affine model — fixed per-batch overhead (vectorizer dispatch,
+    model call) plus per-message and per-character terms — is enough to
+    make batching trade-offs visible in the harness without touching a
+    wall clock.
+    """
+
+    batch_overhead_seconds: float = 2e-3
+    per_message_seconds: float = 4e-4
+    per_char_seconds: float = 2e-6
+
+    def __post_init__(self) -> None:
+        for name in (
+            "batch_overhead_seconds",
+            "per_message_seconds",
+            "per_char_seconds",
+        ):
+            value = getattr(self, name)
+            if not (math.isfinite(value) and value >= 0):
+                raise ValueError(f"{name} must be finite and >= 0, got {value}")
+        if self.batch_overhead_seconds + self.per_message_seconds <= 0:
+            raise ValueError("a batch must take positive simulated time")
+
+    def service_seconds(self, texts: Sequence[str]) -> float:
+        return (
+            self.batch_overhead_seconds
+            + self.per_message_seconds * len(texts)
+            + self.per_char_seconds * _total_chars(texts)
+        )

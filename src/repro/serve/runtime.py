@@ -1,0 +1,227 @@
+"""Sharded serving runtime: routing, per-shard servers, merged alerts.
+
+The runtime partitions an arrival stream across ``n_shards`` worker
+shards.  Routing is *stable* and keyed on the message's primary target
+handle (:func:`repro.service.monitor.target_handles`, extracted before
+any scoring), falling back to a platform/channel hash for messages that
+reference no target — so every per-target campaign and escalation
+decision sees exactly the messages a single monitor would have seen for
+that target, just on one shard.  That is the headline invariant:
+
+    For the ``block`` policy, the merged alert stream — sorted by
+    ``(timestamp, message_id, kind)`` — is identical, field for field,
+    to single-monitor :meth:`HarassmentMonitor.run` output for any
+    shard count.
+
+Each shard owns its own :class:`HarassmentMonitor` and consumes its
+:class:`~repro.serve.queueing.BoundedQueue` through a
+:class:`~repro.serve.batching.MicroBatcher`.  Time is fully simulated:
+arrivals carry ingest times from the load generator, service times come
+from a deterministic cost model, and shutdown drains the queues without
+waiting out the flush deadline.  Shards are independent after routing,
+so ``run(jobs=N)`` may simulate them on a thread pool with identical
+results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence
+
+from repro.service.monitor import Alert, HarassmentMonitor, target_handles
+from repro.service.stream import StreamMessage
+from repro.serve.batching import MicroBatcher, ServiceCostModel
+from repro.serve.loadgen import Arrival, LoadProfile, generate_arrivals
+from repro.serve.queueing import BackpressurePolicy, BoundedQueue, QueuedMessage
+from repro.serve.telemetry import ServeTelemetry, ShardTelemetry
+from repro.util.batching import iter_batches
+from repro.util.rng import stable_hash
+
+#: Canonical merge order for alert streams; both the sharded runtime and
+#: the single-monitor baseline sort by this key for comparison.
+def alert_sort_key(alert: Alert) -> tuple[float, int, str]:
+    return (alert.timestamp, alert.message_id, alert.kind.value)
+
+
+def routing_key(message: StreamMessage) -> str:
+    """Stable shard-routing key: primary target handle, else channel."""
+    handles, _ = target_handles(message.text)
+    if handles:
+        return handles[0]
+    return f"channel:{message.platform.value}:{message.channel}"
+
+
+def shard_for(message: StreamMessage, n_shards: int) -> int:
+    return stable_hash("serve-route", routing_key(message)) % n_shards
+
+
+@dataclasses.dataclass(frozen=True)
+class ServeConfig:
+    """Shape of the serving fleet."""
+
+    n_shards: int = 4
+    batch_size: int = 64
+    max_delay_seconds: float = 0.05
+    queue_capacity: int = 512
+    policy: BackpressurePolicy = BackpressurePolicy.BLOCK
+    cost: ServiceCostModel = dataclasses.field(default_factory=ServiceCostModel)
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.queue_capacity < self.batch_size:
+            raise ValueError(
+                "queue_capacity must be >= batch_size "
+                f"({self.queue_capacity} < {self.batch_size})"
+            )
+        # MicroBatcher validates batch_size/max_delay on construction.
+        MicroBatcher(self.batch_size, self.max_delay_seconds)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "n_shards": self.n_shards,
+            "batch_size": self.batch_size,
+            "max_delay_seconds": self.max_delay_seconds,
+            "queue_capacity": self.queue_capacity,
+            "policy": self.policy.value,
+            "cost": dataclasses.asdict(self.cost),
+        }
+
+
+@dataclasses.dataclass
+class ServeResult:
+    """Merged output of one serving run."""
+
+    alerts: list[Alert]
+    telemetry: ServeTelemetry
+    config: ServeConfig
+
+    @property
+    def unaccounted(self) -> int:
+        return sum(s.queue.unaccounted for s in self.telemetry.shards)
+
+    def alert_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for alert in self.alerts:
+            counts[alert.kind.value] = counts.get(alert.kind.value, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "config": self.config.as_dict(),
+            "alerts": {"total": len(self.alerts), "by_kind": self.alert_counts()},
+            "unaccounted_messages": self.unaccounted,
+            "telemetry": self.telemetry.as_dict(),
+        }
+
+
+class ServingRuntime:
+    """Drives ``n_shards`` monitor-owning shard servers over arrivals."""
+
+    def __init__(
+        self,
+        monitor_factory: Callable[[], HarassmentMonitor],
+        config: ServeConfig | None = None,
+    ) -> None:
+        self._monitor_factory = monitor_factory
+        self.config = config or ServeConfig()
+
+    # -- simulation --------------------------------------------------------
+
+    def _run_shard(
+        self, shard_id: int, arrivals: Sequence[Arrival]
+    ) -> tuple[list[Alert], ShardTelemetry]:
+        config = self.config
+        monitor = self._monitor_factory()
+        queue = BoundedQueue(config.queue_capacity, config.policy)
+        batcher = MicroBatcher(config.batch_size, config.max_delay_seconds)
+        telemetry = ShardTelemetry(shard_id=shard_id, queue=queue.accounting)
+        alerts: list[Alert] = []
+        server_free = 0.0
+        index, total = 0, len(arrivals)
+
+        def score(batch: Sequence[QueuedMessage], start: float) -> float:
+            """Process one batch at simulated ``start``; returns its end."""
+            end = start + config.cost.service_seconds(
+                [q.message.text for q in batch]
+            )
+            raised = monitor.process_batch([q.message for q in batch])
+            alerts.extend(raised)
+            telemetry.record_batch(
+                start, end, [start - q.enqueue_time for q in batch], len(raised)
+            )
+            return end
+
+        while index < total or len(queue):
+            if index >= total:
+                # Producer closed: graceful drain — flush immediately in
+                # batch-size chunks instead of waiting out the deadline.
+                for chunk in iter_batches(queue.drain(), config.batch_size):
+                    start = max(server_free, chunk[-1].enqueue_time)
+                    server_free = score(chunk, start)
+                break
+            if not len(queue):
+                arrival = arrivals[index]
+                index += 1
+                queue.offer(arrival.time, arrival.message)
+                continue
+            upcoming = [
+                a.time for a in arrivals[index : index + config.batch_size]
+            ]
+            flush_at = batcher.flush_time(queue, upcoming)
+            start = max(flush_at, server_free)
+            # Everything arriving before the batch starts enters the queue
+            # first (and may be shed/dropped under overload).
+            while index < total and arrivals[index].time <= start:
+                arrival = arrivals[index]
+                index += 1
+                queue.offer(arrival.time, arrival.message)
+            server_free = score(queue.take(config.batch_size), start)
+        telemetry.monitor = monitor.stats
+        return alerts, telemetry
+
+    # -- public ------------------------------------------------------------
+
+    def run(self, arrivals: Iterable[Arrival], jobs: int = 1) -> ServeResult:
+        """Route and serve ``arrivals``; returns merged, sorted output."""
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        per_shard: list[list[Arrival]] = [
+            [] for _ in range(self.config.n_shards)
+        ]
+        for arrival in arrivals:
+            per_shard[shard_for(arrival.message, self.config.n_shards)].append(
+                arrival
+            )
+        if jobs == 1 or self.config.n_shards == 1:
+            outcomes = [
+                self._run_shard(shard_id, shard_arrivals)
+                for shard_id, shard_arrivals in enumerate(per_shard)
+            ]
+        else:
+            with ThreadPoolExecutor(max_workers=jobs) as pool:
+                outcomes = list(
+                    pool.map(
+                        self._run_shard,
+                        range(self.config.n_shards),
+                        per_shard,
+                    )
+                )
+        merged: list[Alert] = []
+        for shard_alerts, _ in outcomes:
+            merged.extend(shard_alerts)
+        merged.sort(key=alert_sort_key)
+        telemetry = ServeTelemetry(shards=[t for _, t in outcomes])
+        return ServeResult(alerts=merged, telemetry=telemetry, config=self.config)
+
+    def serve_stream(
+        self,
+        messages: Iterable[StreamMessage],
+        profile: LoadProfile | None = None,
+        jobs: int = 1,
+    ) -> ServeResult:
+        """Generate arrivals for ``messages`` and serve them."""
+        return self.run(
+            generate_arrivals(messages, profile or LoadProfile()), jobs=jobs
+        )

@@ -1,0 +1,221 @@
+"""Serving telemetry: histograms, per-shard counters, JSON snapshots.
+
+Everything here is simulated-time arithmetic over values the runtime
+hands in — no clock reads, no randomness — so two runs of the same
+configuration produce byte-identical snapshots (the serve-bench JSON
+report is diffable across machines, like ``repro cache ls``).
+
+Aggregation follows the ``MonitorStats`` idiom: every dataclass knows
+how to ``merge()`` with a peer and render itself ``as_dict()``, so the
+fleet-wide view is a fold over shards without reaching into fields.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Sequence
+
+from repro.service.monitor import MonitorStats
+from repro.serve.queueing import QueueAccounting
+
+#: Histogram bucket upper bounds in seconds: four per decade from 10 µs
+#: to 1000 s, then a catch-all.  Fixed bounds (rather than data-derived
+#: ones) keep shard histograms mergeable by plain element-wise addition.
+_DECADES = range(-5, 3)
+_STEPS = (1.0, 1.78, 3.16, 5.62)
+BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    step * (10.0 ** decade) for decade in _DECADES for step in _STEPS
+) + (float("inf"),)
+
+
+class LatencyHistogram:
+    """Fixed-bound histogram over seconds with deterministic quantiles."""
+
+    __slots__ = ("counts", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.counts = [0] * len(BUCKET_BOUNDS)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"latency cannot be negative, got {seconds}")
+        for i, bound in enumerate(BUCKET_BOUNDS):
+            if seconds <= bound:
+                self.counts[i] += 1
+                break
+        self.count += 1
+        self.total += seconds
+        self.min = min(self.min, seconds)
+        self.max = max(self.max, seconds)
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        merged = LatencyHistogram()
+        merged.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        merged.count = self.count + other.count
+        merged.total = self.total + other.total
+        merged.min = min(self.min, other.min)
+        merged.max = max(self.max, other.max)
+        return merged
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q``-quantile.
+
+        Deterministic and mergeable at the cost of bucket resolution
+        (~1.78x); the extremes are clamped to the observed min/max so
+        p50 of a single sample is that sample.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                return max(self.min, min(self.max, BUCKET_BOUNDS[i]))
+        return self.max
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "count": self.count,
+            "mean_s": self.mean,
+            "min_s": self.min if self.count else 0.0,
+            "max_s": self.max,
+            "p50_s": self.quantile(0.50),
+            "p95_s": self.quantile(0.95),
+            "p99_s": self.quantile(0.99),
+        }
+
+
+@dataclasses.dataclass
+class ShardTelemetry:
+    """Everything one shard learned about itself during a run."""
+
+    shard_id: int
+    queue: QueueAccounting = dataclasses.field(default_factory=QueueAccounting)
+    monitor: MonitorStats = dataclasses.field(default_factory=MonitorStats)
+    batches: int = 0
+    messages_scored: int = 0
+    alerts_raised: int = 0
+    busy_seconds: float = 0.0
+    first_batch_start: float = float("inf")
+    last_batch_end: float = 0.0
+    service_time: LatencyHistogram = dataclasses.field(
+        default_factory=LatencyHistogram
+    )
+    queue_wait: LatencyHistogram = dataclasses.field(
+        default_factory=LatencyHistogram
+    )
+
+    def record_batch(
+        self,
+        start: float,
+        end: float,
+        waits: Sequence[float],
+        n_alerts: int,
+    ) -> None:
+        self.batches += 1
+        self.messages_scored += len(waits)
+        self.alerts_raised += n_alerts
+        self.busy_seconds += end - start
+        self.first_batch_start = min(self.first_batch_start, start)
+        self.last_batch_end = max(self.last_batch_end, end)
+        self.service_time.record(end - start)
+        for wait in waits:
+            self.queue_wait.record(wait)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "shard_id": self.shard_id,
+            "queue": self.queue.as_dict(),
+            "monitor": self.monitor.as_dict(),
+            "batches": self.batches,
+            "messages_scored": self.messages_scored,
+            "alerts_raised": self.alerts_raised,
+            "busy_seconds": self.busy_seconds,
+            "service_time": self.service_time.as_dict(),
+            "queue_wait": self.queue_wait.as_dict(),
+        }
+
+
+@dataclasses.dataclass
+class ServeTelemetry:
+    """Fleet-wide aggregate of per-shard telemetry."""
+
+    shards: list[ShardTelemetry]
+
+    def _merged_accounting(self) -> QueueAccounting:
+        total = QueueAccounting()
+        for shard in self.shards:
+            for field in dataclasses.fields(QueueAccounting):
+                setattr(
+                    total,
+                    field.name,
+                    getattr(total, field.name)
+                    + getattr(shard.queue, field.name),
+                )
+        # max_depth sums are meaningless; report the worst shard instead.
+        total.max_depth = max(
+            (s.queue.max_depth for s in self.shards), default=0
+        )
+        return total
+
+    def merged_service_time(self) -> LatencyHistogram:
+        return _merge_histograms(s.service_time for s in self.shards)
+
+    def merged_queue_wait(self) -> LatencyHistogram:
+        return _merge_histograms(s.queue_wait for s in self.shards)
+
+    def merged_monitor_stats(self) -> MonitorStats:
+        return MonitorStats.merged(s.monitor for s in self.shards)
+
+    @property
+    def messages_scored(self) -> int:
+        return sum(s.messages_scored for s in self.shards)
+
+    @property
+    def makespan_seconds(self) -> float:
+        """Simulated span from the first batch start to the last batch end."""
+        starts = [
+            s.first_batch_start for s in self.shards if s.batches
+        ]
+        ends = [s.last_batch_end for s in self.shards if s.batches]
+        if not starts:
+            return 0.0
+        return max(ends) - min(starts)
+
+    @property
+    def throughput_per_second(self) -> float:
+        makespan = self.makespan_seconds
+        return self.messages_scored / makespan if makespan > 0 else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "n_shards": len(self.shards),
+            "messages_scored": self.messages_scored,
+            "makespan_seconds": self.makespan_seconds,
+            "throughput_per_second": self.throughput_per_second,
+            "queue": self._merged_accounting().as_dict(),
+            "monitor": self.merged_monitor_stats().as_dict(),
+            "service_time": self.merged_service_time().as_dict(),
+            "queue_wait": self.merged_queue_wait().as_dict(),
+            "per_shard": [s.as_dict() for s in self.shards],
+        }
+
+
+def _merge_histograms(
+    histograms: Iterable[LatencyHistogram],
+) -> LatencyHistogram:
+    merged = LatencyHistogram()
+    for histogram in histograms:
+        merged = merged.merge(histogram)
+    return merged

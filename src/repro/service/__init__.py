@@ -16,6 +16,7 @@ from repro.service.monitor import (
     HarassmentMonitor,
     MonitorConfig,
     MonitorStats,
+    target_handles,
 )
 
 __all__ = [
@@ -26,4 +27,5 @@ __all__ = [
     "HarassmentMonitor",
     "MonitorConfig",
     "MonitorStats",
+    "target_handles",
 ]

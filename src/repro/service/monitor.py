@@ -25,8 +25,27 @@ from repro.extraction.pii import extract_pii
 from repro.nlp.features import HashingVectorizer
 from repro.service.stream import StreamMessage
 from repro.taxonomy.coding import ExpertCoder
+from repro.util.batching import iter_batches
 
 _OSN = ("facebook", "instagram", "twitter", "youtube")
+
+
+def target_handles(text: str) -> tuple[list[str], dict[str, list[str]]]:
+    """Target handles referenced by ``text``, plus the full PII extraction
+    they came from (so callers never re-extract).
+
+    Handles are ``platform:value`` strings in extraction order, so
+    ``handles[0]`` is the message's *primary* target — the key the
+    serving runtime shards on (:mod:`repro.serve.runtime`), which is why
+    this lives at module level rather than on the monitor.
+    """
+    extracted = extract_pii(text)
+    handles = [
+        f"{category}:{value.lower()}"
+        for category in _OSN
+        for value in extracted.get(category, ())
+    ]
+    return handles, extracted
 
 
 class AlertKind(enum.Enum):
@@ -71,6 +90,25 @@ class MonitorStats:
     campaigns_alerted: int = 0
     escalations_alerted: int = 0
 
+    def as_dict(self) -> dict[str, int]:
+        """Field-name -> count snapshot, stable field order."""
+        return dataclasses.asdict(self)
+
+    def merge(self, other: "MonitorStats") -> "MonitorStats":
+        """Counter-wise sum with ``other`` (neither operand is mutated)."""
+        return MonitorStats(**{
+            field.name: getattr(self, field.name) + getattr(other, field.name)
+            for field in dataclasses.fields(MonitorStats)
+        })
+
+    @classmethod
+    def merged(cls, stats: Iterable["MonitorStats"]) -> "MonitorStats":
+        """Aggregate per-shard stats into one snapshot."""
+        total = cls()
+        for item in stats:
+            total = total.merge(item)
+        return total
+
 
 class HarassmentMonitor:
     """Stateful online detector over a message stream."""
@@ -100,15 +138,7 @@ class HarassmentMonitor:
     # -- internals ------------------------------------------------------------
 
     def _handles(self, text: str) -> tuple[list[str], dict[str, list[str]]]:
-        """Target handles in ``text``, plus the full PII extraction they
-        came from (so callers never re-extract)."""
-        extracted = extract_pii(text)
-        handles = [
-            f"{category}:{value.lower()}"
-            for category in _OSN
-            for value in extracted.get(category, ())
-        ]
-        return handles, extracted
+        return target_handles(text)
 
     def _evict_stale_targets(self) -> None:
         """Drop per-target state older than the campaign window.
@@ -218,12 +248,6 @@ class HarassmentMonitor:
     def run(self, stream: Iterable[StreamMessage], batch_size: int = 256) -> list[Alert]:
         """Consume an entire stream; returns all alerts."""
         alerts: list[Alert] = []
-        batch: list[StreamMessage] = []
-        for message in stream:
-            batch.append(message)
-            if len(batch) == batch_size:
-                alerts.extend(self.process_batch(batch))
-                batch = []
-        if batch:
+        for batch in iter_batches(stream, batch_size):
             alerts.extend(self.process_batch(batch))
         return alerts

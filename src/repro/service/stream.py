@@ -2,16 +2,20 @@
 
 Replays a corpus's documents in timestamp order as a stream of
 :class:`StreamMessage` items — the shape of data a deployed moderation
-service receives.  Streams can be filtered by platform and batched.
+service receives.  Streams can be filtered by platform and batched, and
+expose the metadata a serving runtime needs to size itself
+(:meth:`MessageStream.platforms`, :meth:`MessageStream.time_span`).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Iterable, Iterator, Sequence
 
 from repro.corpus.documents import Document
 from repro.types import Platform, Source
+from repro.util.batching import iter_batches
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -48,13 +52,20 @@ class MessageStream:
         platforms: Sequence[Platform] | None = None,
     ) -> None:
         wanted = set(platforms) if platforms is not None else None
-        self._documents = sorted(
-            (
-                d for d in documents
-                if wanted is None or d.platform in wanted
-            ),
-            key=lambda d: (d.timestamp, d.doc_id),
-        )
+        kept: list[Document] = []
+        for doc in documents:
+            if wanted is not None and doc.platform not in wanted:
+                continue
+            # A NaN timestamp poisons the sort silently (NaN compares
+            # false against everything, so sorted() leaves it wherever
+            # it happens to sit); reject it here instead.
+            if not math.isfinite(doc.timestamp):
+                raise ValueError(
+                    f"document {doc.doc_id} has a non-finite timestamp "
+                    f"({doc.timestamp!r}); streams need a total replay order"
+                )
+            kept.append(doc)
+        self._documents = sorted(kept, key=lambda d: (d.timestamp, d.doc_id))
 
     def __len__(self) -> int:
         return len(self._documents)
@@ -63,18 +74,21 @@ class MessageStream:
         for doc in self._documents:
             yield StreamMessage.from_document(doc)
 
+    def platforms(self) -> tuple[Platform, ...]:
+        """Distinct platforms present, in stable (value-sorted) order."""
+        return tuple(
+            sorted({d.platform for d in self._documents}, key=lambda p: p.value)
+        )
+
+    def time_span(self) -> tuple[float, float] | None:
+        """(first, last) message timestamp, or ``None`` for an empty stream."""
+        if not self._documents:
+            return None
+        return self._documents[0].timestamp, self._documents[-1].timestamp
+
     def batches(self, size: int) -> Iterator[list[StreamMessage]]:
         """Yield messages in fixed-size batches (last one may be short)."""
-        if size <= 0:
-            raise ValueError("batch size must be positive")
-        batch: list[StreamMessage] = []
-        for message in self:
-            batch.append(message)
-            if len(batch) == size:
-                yield batch
-                batch = []
-        if batch:
-            yield batch
+        return iter_batches(self, size)
 
     def oracle_labels(self) -> dict[int, tuple[bool, bool]]:
         """message_id -> (is_cth, is_dox) ground truth, for evaluation only."""

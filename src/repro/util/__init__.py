@@ -1,10 +1,12 @@
-"""Shared utilities: deterministic RNG plumbing and report rendering."""
+"""Shared utilities: deterministic RNG plumbing, batching, report rendering."""
 
+from repro.util.batching import iter_batches
 from repro.util.rng import child_rng, make_rng, stable_hash
 from repro.util.tables import format_table, format_percent_count
 
 __all__ = [
     "child_rng",
+    "iter_batches",
     "make_rng",
     "stable_hash",
     "format_table",

@@ -1,0 +1,28 @@
+"""Fixed-size batching over any iterable.
+
+Three consumers assemble message batches the same way — the stream
+replay (:meth:`repro.service.stream.MessageStream.batches`), the
+monitor's convenience loop (:meth:`repro.service.monitor.HarassmentMonitor.run`),
+and the serving runtime's shutdown drain
+(:mod:`repro.serve.runtime`) — so the loop lives here once.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+def iter_batches(iterable: Iterable[T], size: int) -> Iterator[list[T]]:
+    """Yield items from ``iterable`` in lists of ``size`` (last may be short)."""
+    if size <= 0:
+        raise ValueError("batch size must be positive")
+    batch: list[T] = []
+    for item in iterable:
+        batch.append(item)
+        if len(batch) == size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch

@@ -164,3 +164,48 @@ def test_study_retries_flag_validation():
     assert args.retries == 2
     with pytest.raises(SystemExit):
         parser.parse_args(["study", "--tiny", "--retries", "-1"])
+
+
+def test_serve_bench_writes_json_report(tmp_path, capsys):
+    import json
+
+    report_path = tmp_path / "serve.json"
+    code = main([
+        "serve-bench", "--tiny", "--seed", "7", "--shards", "2",
+        "--epochs", "2", "--rate", "4000", "--check-equivalence",
+        "--report", str(report_path),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "equivalence vs single monitor: ok" in out
+    assert "unaccounted messages: 0" in out
+    report = json.loads(report_path.read_text())
+    assert report["equivalence"] == "ok"
+    assert report["unaccounted_messages"] == 0
+    telemetry = report["telemetry"]
+    assert telemetry["throughput_per_second"] > 0
+    for field in ("p50_s", "p95_s", "p99_s"):
+        assert telemetry["service_time"][field] > 0
+    per_shard = telemetry["per_shard"]
+    assert len(per_shard) == 2
+    assert sum(s["messages_scored"] for s in per_shard) == report["load"]["n_messages"]
+    assert telemetry["queue"]["unaccounted"] == 0
+
+
+def test_serve_bench_overload_policy_sheds(tmp_path, capsys):
+    report_path = tmp_path / "overload.json"
+    code = main([
+        "serve-bench", "--tiny", "--seed", "7", "--shards", "2",
+        "--epochs", "2", "--rate", "100000", "--policy", "shed-newest",
+        "--queue-capacity", "64", "--batch-size", "64",
+        "--report", str(report_path),
+    ])
+    assert code == 0
+    import json
+
+    report = json.loads(report_path.read_text())
+    telemetry = report["telemetry"]
+    assert telemetry["queue"]["shed"] > 0
+    assert telemetry["queue"]["max_depth"] <= 64
+    assert telemetry["queue"]["unaccounted"] == 0
+    assert report["unaccounted_messages"] == 0

@@ -1,0 +1,247 @@
+"""Unit tests for serving telemetry, queueing, batching, and load generation."""
+
+import json
+
+import pytest
+
+from repro.serve.batching import MicroBatcher, ServiceCostModel
+from repro.serve.loadgen import LoadProfile, generate_arrivals
+from repro.serve.queueing import BackpressurePolicy, BoundedQueue
+from repro.serve.telemetry import (
+    BUCKET_BOUNDS,
+    LatencyHistogram,
+    ServeTelemetry,
+    ShardTelemetry,
+)
+from repro.service.stream import StreamMessage
+from repro.types import Platform, Source
+
+
+def _msg(i, text="hello", channel="c"):
+    return StreamMessage(
+        message_id=i, platform=Platform.GAB, source=Source.GAB,
+        channel=channel, author="a", timestamp=float(i), text=text,
+    )
+
+
+# -- histogram -----------------------------------------------------------------
+
+def test_histogram_quantiles_single_sample():
+    hist = LatencyHistogram()
+    hist.record(0.004)
+    assert hist.count == 1
+    assert hist.quantile(0.5) == pytest.approx(0.004)
+    assert hist.quantile(0.99) == pytest.approx(0.004)
+
+
+def test_histogram_quantile_ordering():
+    hist = LatencyHistogram()
+    for value in (0.001,) * 90 + (0.1,) * 9 + (5.0,):
+        hist.record(value)
+    assert hist.quantile(0.5) < hist.quantile(0.95) <= hist.quantile(0.99)
+    assert hist.quantile(1.0) == pytest.approx(5.0)
+    assert hist.mean == pytest.approx((0.001 * 90 + 0.1 * 9 + 5.0) / 100)
+
+
+def test_histogram_merge_matches_combined_recording():
+    a, b, combined = LatencyHistogram(), LatencyHistogram(), LatencyHistogram()
+    for i, value in enumerate((0.002, 0.03, 0.4, 1.2, 0.0001)):
+        (a if i % 2 else b).record(value)
+        combined.record(value)
+    merged = a.merge(b)
+    assert merged.counts == combined.counts
+    assert merged.count == combined.count
+    assert merged.total == pytest.approx(combined.total)
+    assert merged.as_dict() == pytest.approx(combined.as_dict())
+
+
+def test_histogram_rejects_negative_and_bad_quantile():
+    hist = LatencyHistogram()
+    with pytest.raises(ValueError):
+        hist.record(-1.0)
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+    assert hist.quantile(0.5) == 0.0  # empty
+
+
+def test_histogram_bounds_cover_everything():
+    assert BUCKET_BOUNDS[-1] == float("inf")
+    hist = LatencyHistogram()
+    hist.record(1e9)  # absurd value still lands in the catch-all
+    assert sum(hist.counts) == 1
+
+
+# -- bounded queue -------------------------------------------------------------
+
+def test_queue_block_policy_grows_past_capacity():
+    queue = BoundedQueue(2, BackpressurePolicy.BLOCK)
+    for i in range(5):
+        assert queue.offer(float(i), _msg(i))
+    acct = queue.accounting
+    assert len(queue) == 5 and acct.max_depth == 5
+    assert acct.shed == acct.dropped == 0
+    queue.drain()
+    assert acct.unaccounted == 0
+
+
+def test_queue_shed_newest_rejects_at_capacity():
+    queue = BoundedQueue(2, BackpressurePolicy.SHED_NEWEST)
+    assert queue.offer(0.0, _msg(0)) and queue.offer(1.0, _msg(1))
+    assert not queue.offer(2.0, _msg(2))
+    acct = queue.accounting
+    assert acct.shed == 1 and acct.dropped == 0 and acct.max_depth == 2
+    taken = queue.drain()
+    assert [q.message.message_id for q in taken] == [0, 1]
+    assert acct.unaccounted == 0
+
+
+def test_queue_drop_oldest_evicts_head():
+    queue = BoundedQueue(2, BackpressurePolicy.DROP_OLDEST)
+    for i in range(4):
+        assert queue.offer(float(i), _msg(i))
+    acct = queue.accounting
+    assert acct.dropped == 2 and acct.shed == 0 and len(queue) == 2
+    assert [q.message.message_id for q in queue.drain()] == [2, 3]
+    assert acct.unaccounted == 0
+
+
+def test_queue_validates_capacity():
+    with pytest.raises(ValueError):
+        BoundedQueue(0, BackpressurePolicy.BLOCK)
+
+
+# -- micro-batcher -------------------------------------------------------------
+
+def _queue_with(times):
+    queue = BoundedQueue(64, BackpressurePolicy.BLOCK)
+    for i, t in enumerate(times):
+        queue.offer(t, _msg(i))
+    return queue
+
+
+def test_batcher_flushes_when_full():
+    batcher = MicroBatcher(batch_size=3, max_delay_seconds=10.0)
+    queue = _queue_with([0.0, 1.0, 2.0])
+    # Full batch: constrained by the youngest rider, not the deadline.
+    assert batcher.flush_time(queue, []) == 2.0
+
+
+def test_batcher_flushes_on_deadline():
+    batcher = MicroBatcher(batch_size=8, max_delay_seconds=0.5)
+    queue = _queue_with([1.0])
+    assert batcher.flush_time(queue, []) == pytest.approx(1.5)
+
+
+def test_batcher_waits_for_completing_arrival_if_sooner():
+    batcher = MicroBatcher(batch_size=3, max_delay_seconds=10.0)
+    queue = _queue_with([0.0, 0.1])
+    # The third message arrives at 0.4 — flush then, not at the deadline.
+    assert batcher.flush_time(queue, [0.4, 99.0]) == pytest.approx(0.4)
+    # If it arrived after the deadline, the deadline wins.
+    assert batcher.flush_time(queue, [20.0]) == pytest.approx(10.0)
+
+
+def test_batcher_empty_queue_and_validation():
+    batcher = MicroBatcher(batch_size=2, max_delay_seconds=1.0)
+    with pytest.raises(ValueError):
+        batcher.flush_time(BoundedQueue(4, BackpressurePolicy.BLOCK), [])
+    with pytest.raises(ValueError):
+        MicroBatcher(batch_size=0, max_delay_seconds=1.0)
+    with pytest.raises(ValueError):
+        MicroBatcher(batch_size=1, max_delay_seconds=0.0)
+
+
+def test_cost_model_is_affine_and_validated():
+    cost = ServiceCostModel(
+        batch_overhead_seconds=0.01,
+        per_message_seconds=0.001,
+        per_char_seconds=0.0001,
+    )
+    assert cost.service_seconds(["ab", "c"]) == pytest.approx(
+        0.01 + 2 * 0.001 + 3 * 0.0001
+    )
+    with pytest.raises(ValueError):
+        ServiceCostModel(per_message_seconds=-1.0)
+    with pytest.raises(ValueError):
+        ServiceCostModel(batch_overhead_seconds=0.0, per_message_seconds=0.0)
+
+
+# -- load generator ------------------------------------------------------------
+
+def test_loadgen_is_deterministic_and_ordered():
+    messages = [_msg(i) for i in range(50)]
+    profile = LoadProfile(rate_per_second=100.0, seed=5)
+    first = generate_arrivals(messages, profile)
+    second = generate_arrivals(messages, profile)
+    assert [(a.time, a.message.message_id) for a in first] == [
+        (a.time, a.message.message_id) for a in second
+    ]
+    assert [a.message.message_id for a in first] == list(range(50))
+    times = [a.time for a in first]
+    assert times == sorted(times)
+    assert all(t > 0 for t in times)
+    different = generate_arrivals(messages, LoadProfile(rate_per_second=100.0, seed=6))
+    assert [a.time for a in different] != times
+
+
+def test_loadgen_bursts_arrive_simultaneously():
+    messages = [_msg(i) for i in range(20)]
+    profile = LoadProfile(rate_per_second=10.0, burst_every=4, burst_size=2, seed=1)
+    arrivals = generate_arrivals(messages, profile)
+    # After every 4 Poisson arrivals, the next 2 share their predecessor's time.
+    for start in range(4, 20, 6):
+        for offset in range(min(2, 19 - start)):
+            assert arrivals[start + offset].time == arrivals[start - 1 + offset].time
+
+
+def test_loadgen_validation_and_empty():
+    with pytest.raises(ValueError):
+        LoadProfile(rate_per_second=0.0)
+    with pytest.raises(ValueError):
+        LoadProfile(burst_every=3)  # burst_size missing
+    assert generate_arrivals([], LoadProfile()) == []
+
+
+# -- shard/fleet telemetry -----------------------------------------------------
+
+def test_shard_telemetry_record_batch():
+    shard = ShardTelemetry(shard_id=0)
+    shard.record_batch(1.0, 1.5, waits=[0.2, 0.3], n_alerts=1)
+    shard.record_batch(2.0, 2.25, waits=[0.0], n_alerts=0)
+    assert shard.batches == 2
+    assert shard.messages_scored == 3
+    assert shard.alerts_raised == 1
+    assert shard.busy_seconds == pytest.approx(0.75)
+    assert shard.service_time.count == 2
+    assert shard.queue_wait.count == 3
+
+
+def test_fleet_telemetry_aggregates_and_serializes():
+    a, b = ShardTelemetry(shard_id=0), ShardTelemetry(shard_id=1)
+    a.record_batch(0.0, 1.0, waits=[0.1, 0.1], n_alerts=2)
+    b.record_batch(0.5, 3.0, waits=[0.2], n_alerts=0)
+    a.queue.offered = a.queue.admitted = a.queue.taken = 2
+    a.queue.max_depth = 7
+    b.queue.offered = 3
+    b.queue.admitted = b.queue.taken = 1
+    b.queue.shed = 2
+    b.queue.max_depth = 4
+    fleet = ServeTelemetry(shards=[a, b])
+    assert fleet.messages_scored == 3
+    assert fleet.makespan_seconds == pytest.approx(3.0)
+    assert fleet.throughput_per_second == pytest.approx(1.0)
+    snapshot = fleet.as_dict()
+    assert snapshot["queue"]["offered"] == 5
+    assert snapshot["queue"]["shed"] == 2
+    assert snapshot["queue"]["max_depth"] == 7  # worst shard, not a sum
+    assert snapshot["queue"]["unaccounted"] == 0
+    assert len(snapshot["per_shard"]) == 2
+    assert snapshot["service_time"]["count"] == 2
+    json.dumps(snapshot)  # fully JSON-serializable
+
+
+def test_empty_fleet_telemetry():
+    fleet = ServeTelemetry(shards=[])
+    assert fleet.makespan_seconds == 0.0
+    assert fleet.throughput_per_second == 0.0
+    json.dumps(fleet.as_dict())

@@ -11,6 +11,8 @@ from repro.service.monitor import (
     AlertKind,
     HarassmentMonitor,
     MonitorConfig,
+    MonitorStats,
+    target_handles,
 )
 from repro.service.stream import MessageStream, StreamMessage
 from repro.types import Platform, Source, Task
@@ -57,6 +59,29 @@ def test_oracle_labels():
     labels = MessageStream(docs).oracle_labels()
     assert labels[0] == (True, False)
     assert labels[1] == (False, True)
+
+
+def test_stream_rejects_nonfinite_timestamps():
+    # A NaN timestamp would poison the sort silently (NaN compares false
+    # against everything); the constructor must reject it loudly.
+    for bad in (float("nan"), float("inf"), float("-inf")):
+        with pytest.raises(ValueError, match="non-finite timestamp"):
+            MessageStream([_doc(0, ts=bad)])
+
+
+def test_stream_platforms_metadata():
+    docs = [_doc(0), _doc(1, platform=Platform.BOARDS), _doc(2)]
+    assert MessageStream(docs).platforms() == (Platform.BOARDS, Platform.GAB)
+    assert MessageStream(docs, platforms=[Platform.GAB]).platforms() == (
+        Platform.GAB,
+    )
+    assert MessageStream([]).platforms() == ()
+
+
+def test_stream_time_span():
+    docs = [_doc(0, ts=5.0), _doc(1, ts=1.0), _doc(2, ts=3.0)]
+    assert MessageStream(docs).time_span() == (1.0, 5.0)
+    assert MessageStream([]).time_span() is None
 
 
 # -- monitor --------------------------------------------------------------------
@@ -127,6 +152,24 @@ def test_monitor_campaign_alert(monitor_models):
     campaigns = [a for a in alerts if a.kind is AlertKind.CAMPAIGN]
     assert len(campaigns) == 1  # deduplicated within the window
     assert campaigns[0].target_handle is not None
+    assert monitor.stats.campaigns_alerted == 1
+
+
+def test_monitor_campaign_across_batch_boundaries(monitor_models):
+    # A target whose campaign_min_messages detections straddle two
+    # process_batch calls still raises exactly one CAMPAIGN alert — the
+    # sliding window is per-target state, not per-batch state.
+    monitor = _monitor(monitor_models, campaign_min_messages=3)
+    first = monitor.process_batch(
+        [_msg(0, CTH_TEXT, 0.0), _msg(1, CTH_TEXT, 3600.0)]
+    )
+    assert not [a for a in first if a.kind is AlertKind.CAMPAIGN]
+    second = monitor.process_batch(
+        [_msg(2, CTH_TEXT, 7200.0), _msg(3, CTH_TEXT, 10800.0)]
+    )
+    campaigns = [a for a in second if a.kind is AlertKind.CAMPAIGN]
+    assert len(campaigns) == 1  # raised once, deduped within the window
+    assert campaigns[0].message_id == 2  # on the detection that crossed 3
     assert monitor.stats.campaigns_alerted == 1
 
 
@@ -224,6 +267,31 @@ def test_monitor_extracts_pii_once_per_message(monitor_models, monkeypatch):
     # linking rather than re-running the regex bank.
     assert [a for a in alerts if a.kind is AlertKind.DOX]
     assert len(calls) == 1
+
+
+def test_target_handles_module_function():
+    handles, extracted = target_handles(DOX_TEXT)
+    assert "twitter:targetuser99" in handles
+    assert "address" in extracted  # full extraction rides along
+    assert target_handles(BENIGN_TEXT) == ([], {})
+
+
+def test_monitor_stats_as_dict_and_merge():
+    a = MonitorStats(messages_processed=10, cth_detected=2, campaigns_alerted=1)
+    b = MonitorStats(messages_processed=5, dox_detected=3, escalations_alerted=2)
+    merged = a.merge(b)
+    assert merged == MonitorStats(
+        messages_processed=15, cth_detected=2, dox_detected=3,
+        campaigns_alerted=1, escalations_alerted=2,
+    )
+    # Operands untouched; as_dict covers every field.
+    assert a.messages_processed == 10 and b.messages_processed == 5
+    assert merged.as_dict() == {
+        "messages_processed": 15, "cth_detected": 2, "dox_detected": 3,
+        "campaigns_alerted": 1, "escalations_alerted": 2,
+    }
+    assert MonitorStats.merged([a, b, MonitorStats()]) == merged
+    assert MonitorStats.merged([]) == MonitorStats()
 
 
 def test_monitor_config_validation():
