@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint lint-repro bench bench-tiny study cache-clean verify-cache test-recovery test-serve serve-bench experiments examples clean
+.PHONY: install test lint lint-repro bench bench-tiny study cache-clean verify-cache test-recovery test-serve serve-bench score-bench experiments examples clean
 
 CACHE_DIR ?= .study-cache
 
@@ -46,6 +46,15 @@ test-serve:
 # ARGS="--shards 8 --rate 5000 --policy shed-newest".
 serve-bench:
 	PYTHONPATH=src python -m repro.cli serve-bench --tiny --shards 4 --check-equivalence $(ARGS)
+
+# Scoring-core microbenchmark (messages/sec, work ledger); gated against
+# the committed baseline.  After an intentional cost change, refresh the
+# baseline with: PYTHONPATH=src python -m repro.cli score-bench --tiny
+# (default --report is the baseline path) and commit the result.
+score-bench:
+	PYTHONPATH=src python -m repro.cli score-bench --tiny \
+		--report score-bench-report.json \
+		--baseline benchmarks/reports/BENCH_score.json $(ARGS)
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -14,6 +14,8 @@ Subcommands::
                     [--policy block|drop-oldest|shed-newest] [--rate F]
                     [--burst-every N --burst-size N] [--jobs N]
                     [--check-equivalence] [--report FILE]
+    repro score-bench [--tiny/--full] [--seed N] [--batch-size N]
+                    [--report FILE] [--baseline FILE] [--max-regression F]
     repro train     --corpus corpus.jsonl --task dox|cth --out model.npz
     repro score     --model model.npz [--text "..."] [--file posts.txt]
     repro assess    --text "..."      (taxonomy coding + PII + harm risks)
@@ -32,7 +34,10 @@ grandfathered in the committed baseline; ``serve-bench`` trains filters
 on one synthetic corpus, replays a second through the sharded
 ``repro.serve`` runtime under a seeded open-loop load profile, prints an
 alert/latency/throughput summary, and writes a machine-readable JSON
-report (deterministic — the simulation never reads a wall clock).
+report (deterministic — the simulation never reads a wall clock);
+``score-bench`` isolates the shared scoring core (``repro.score``) and
+reports simulated messages/sec plus a per-component work ledger, with an
+optional ``--baseline`` regression gate for CI.
 """
 
 from __future__ import annotations
@@ -377,6 +382,87 @@ def cmd_serve_bench(args) -> int:
     return 0
 
 
+def cmd_score_bench(args) -> int:
+    import json
+    import time
+
+    from repro.score import ScoringCore, compare_reports, run_score_bench
+    from repro.types import Task
+    from repro.util.tables import format_table
+
+    models, vectorizer, stream = _serve_models(args)
+    core = ScoringCore(models[Task.CTH], models[Task.DOX], vectorizer)
+    wall_start = time.perf_counter()
+    result = run_score_bench(core, stream, batch_size=args.batch_size)
+    wall_seconds = time.perf_counter() - wall_start
+    report = result.as_dict()
+
+    print(
+        f"scored {result.n_messages:,} messages in {result.n_batches:,} "
+        f"batches of {result.batch_size} "
+        f"({result.distinct_texts:,} distinct texts)\n"
+    )
+    work = result.work
+    print(format_table(
+        ("component", "ran", "cache hits", "simulated s"),
+        [
+            (
+                "tokenize", work.tokenized_messages, work.token_cache_hits,
+                f"{result.breakdown['tokenize_seconds']:.4f}",
+            ),
+            (
+                "score", work.messages, "-",
+                f"{result.breakdown['score_seconds']:.4f}",
+            ),
+            (
+                "extract", work.extracted_messages, work.extraction_cache_hits,
+                f"{result.breakdown['extract_seconds']:.4f}",
+            ),
+            ("code", work.coded_messages, work.coding_cache_hits, "-"),
+            ("state", "-", "-", f"{result.breakdown['state_seconds']:.4f}"),
+        ],
+        title="Scoring work",
+    ))
+    print()
+    print(
+        f"simulated throughput: {result.messages_per_second:,.0f} msg/s "
+        f"over {result.simulated_seconds:.4f}s simulated; "
+        f"extractions/message: {result.extractions_per_message:.3f}; "
+        f"detections: {result.detections:,}"
+    )
+    # Wall-clock throughput is stdout-only colour; the JSON report stays
+    # fully deterministic so the committed baseline is byte-diffable.
+    if wall_seconds > 0:
+        print(
+            f"wall-clock: {result.n_messages / wall_seconds:,.0f} msg/s "
+            f"({wall_seconds:.2f}s)"
+        )
+
+    report_path = pathlib.Path(args.report)
+    report_path.parent.mkdir(parents=True, exist_ok=True)
+    report_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"report written to {report_path}")
+
+    if args.baseline:
+        baseline_path = pathlib.Path(args.baseline)
+        if not baseline_path.exists():
+            print(f"error: baseline {baseline_path} not found", file=sys.stderr)
+            return 2
+        baseline = json.loads(baseline_path.read_text())
+        failures = compare_reports(
+            report, baseline, max_regression=args.max_regression
+        )
+        if failures:
+            for failure in failures:
+                print(f"GATE FAILED [{failure.check}]: {failure.detail}")
+            return 1
+        print(
+            f"gate ok vs {baseline_path} "
+            f"(tolerance {args.max_regression:.0%})"
+        )
+    return 0
+
+
 def _parse_jobs(value: str) -> int:
     jobs = int(value)
     if jobs < 1:
@@ -615,6 +701,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the machine-readable JSON report here",
     )
     p_serve.set_defaults(func=cmd_serve_bench)
+
+    p_score_bench = sub.add_parser(
+        "score-bench",
+        help="microbenchmark the shared scoring core (messages/sec)",
+    )
+    _add_scale_args(p_score_bench)
+    p_score_bench.add_argument(
+        "--batch-size", type=_parse_jobs, default=64,
+        help="messages scored per core call",
+    )
+    p_score_bench.add_argument(
+        "--epochs", type=int, default=5,
+        help="training epochs for the benchmark filter models",
+    )
+    p_score_bench.add_argument(
+        "--report", default="benchmarks/reports/BENCH_score.json",
+        help="write the deterministic JSON report here",
+    )
+    p_score_bench.add_argument(
+        "--baseline", default=None,
+        help="compare against this committed report and fail on regression",
+    )
+    p_score_bench.add_argument(
+        "--max-regression", type=float, default=0.02,
+        help="allowed fractional throughput drop vs the baseline",
+    )
+    p_score_bench.set_defaults(func=cmd_score_bench)
 
     p_train = sub.add_parser("train", help="train a filter model from a JSONL corpus")
     p_train.add_argument("--corpus", required=True)

@@ -20,6 +20,7 @@ import re
 from typing import Iterable, Mapping, Sequence
 
 from repro.corpus.documents import Document
+from repro.util.cache import LRUCache
 
 _STREET_TYPES = r"(?:St|Ave|Blvd|Dr|Ln|Rd|Ct|Way|Street|Avenue|Boulevard|Drive|Lane|Road|Court)"
 
@@ -100,15 +101,31 @@ def extract_pii(text: str) -> dict[str, list[str]]:
     """All PII matches per category (deduplicated, order preserved)."""
     found: dict[str, list[str]] = {}
     for category, patterns in PII_EXTRACTORS.items():
-        values: list[str] = []
-        for pattern in patterns:
-            for match in pattern.finditer(text):
-                value = match.group(1) if match.groups() else match.group(0)
-                if value not in values:
-                    values.append(value)
+        values = dict.fromkeys(
+            match.group(1) if match.groups() else match.group(0)
+            for pattern in patterns
+            for match in pattern.finditer(text)
+        )
         if values:
-            found[category] = values
+            found[category] = list(values)
     return found
+
+
+def extract_pii_batch(
+    texts: Sequence[str],
+    cache: LRUCache[str, dict[str, list[str]]] | None = None,
+) -> list[dict[str, list[str]]]:
+    """:func:`extract_pii` over a batch, optionally memoised per text.
+
+    With ``cache``, each *distinct* text runs the regex bank at most
+    once — on template-heavy streams (repeated copypasta, the paper's
+    coordinated-incitement shape) that removes nearly all extraction
+    work.  Callers must treat returned dicts as read-only; repeats of a
+    text share one dict object.
+    """
+    if cache is None:
+        return [extract_pii(text) for text in texts]
+    return [cache.get_or_compute(text, extract_pii)[0] for text in texts]
 
 
 def pii_categories_present(text: str) -> frozenset[str]:

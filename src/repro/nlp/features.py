@@ -14,7 +14,7 @@ from typing import Sequence
 import numpy as np
 from scipy import sparse
 
-from repro.nlp.tokenize import TokenCache, hash_tokens, tokenize
+from repro.nlp.tokenize import TokenCache, TokenHashCache, hash_text
 
 #: Multiplier used to mix bigram halves (Knuth's 64-bit constant).
 _MIX = np.uint64(0x9E3779B97F4A7C15)
@@ -73,5 +73,18 @@ class HashingVectorizer:
     def transform_cache(self, cache: TokenCache) -> sparse.csr_matrix:
         return self.transform_hashes(cache.arrays)
 
-    def transform_texts(self, texts: Sequence[str]) -> sparse.csr_matrix:
-        return self.transform_hashes([hash_tokens(tokenize(t)) for t in texts])
+    def transform_texts(
+        self,
+        texts: Sequence[str],
+        token_cache: TokenHashCache | None = None,
+    ) -> sparse.csr_matrix:
+        """Vectorize raw texts, optionally through a streaming token cache.
+
+        With ``token_cache``, repeated texts (template-heavy streams)
+        hit :func:`~repro.nlp.tokenize.hash_text` once per distinct
+        text; without it every text is tokenized afresh.  The output is
+        identical either way — the cache memoises a pure function.
+        """
+        if token_cache is None:
+            return self.transform_hashes([hash_text(t) for t in texts])
+        return self.transform_hashes([token_cache.hashes(t) for t in texts])

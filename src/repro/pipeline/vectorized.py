@@ -65,7 +65,16 @@ class TaskView:
 
 
 class VectorizedCorpus:
-    """Token cache + hashed features over a fixed document list."""
+    """Token cache + hashed features over a fixed document list.
+
+    Features come from the same primitives the streaming scoring core
+    uses — :func:`repro.nlp.tokenize.hash_text` per document (via
+    :class:`~repro.nlp.tokenize.TokenCache`) and
+    :meth:`~repro.nlp.features.HashingVectorizer.transform_hashes` —
+    so a batch row and a streaming row for the same short text are
+    identical by construction, not by parallel implementations agreeing
+    (asserted in ``tests/test_score_core.py``).
+    """
 
     def __init__(
         self,

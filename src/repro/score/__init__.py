@@ -1,0 +1,29 @@
+"""Shared scoring core consumed by both the batch and streaming runtimes."""
+
+from repro.score.bench import (
+    GateFailure,
+    ScoreBenchResult,
+    compare_reports,
+    run_score_bench,
+)
+from repro.score.core import (
+    OSN_PLATFORMS,
+    Extraction,
+    ScoredBatch,
+    ScoreWork,
+    ScoringCore,
+    extract_targets,
+)
+
+__all__ = [
+    "OSN_PLATFORMS",
+    "Extraction",
+    "GateFailure",
+    "ScoreBenchResult",
+    "ScoredBatch",
+    "ScoreWork",
+    "ScoringCore",
+    "compare_reports",
+    "extract_targets",
+    "run_score_bench",
+]

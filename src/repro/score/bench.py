@@ -1,0 +1,185 @@
+"""Scoring-core microbenchmark: messages/sec for scoring alone.
+
+Drives a :class:`~repro.score.core.ScoringCore` over a replayed message
+stream exactly the way a shard server does — router-style extraction
+first, then batch scoring — without any queueing, batching deadlines,
+or monitor state.  The result isolates the per-message *scoring* cost
+the serving capacity limit is built on.
+
+The JSON report is fully deterministic: throughput is simulated-time
+arithmetic over the :class:`~repro.serve.batching.ServiceCostModel`
+work ledger, never a wall clock, so the committed baseline
+(``benchmarks/reports/BENCH_score.json``) is byte-diffable across
+machines and the CI regression gate (:func:`compare_reports`) cannot
+flake.  A regression here means the *work per message* grew — e.g. a
+cache stopped hitting or an extraction started running twice — which is
+exactly what the gate exists to catch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Iterable
+
+from repro.score.core import ScoreWork, ScoringCore
+from repro.util.batching import iter_batches
+
+if TYPE_CHECKING:  # the serve layer sits above the core; type-only import
+    from repro.serve.batching import ServiceCostModel
+
+
+@dataclasses.dataclass
+class ScoreBenchResult:
+    """Deterministic scoring-throughput measurement."""
+
+    n_messages: int
+    n_batches: int
+    batch_size: int
+    distinct_texts: int
+    work: ScoreWork
+    detections: int
+    simulated_seconds: float
+    breakdown: dict[str, float]
+    cache_stats: dict[str, dict[str, int | float]]
+
+    @property
+    def messages_per_second(self) -> float:
+        if self.simulated_seconds <= 0:
+            return 0.0
+        return self.n_messages / self.simulated_seconds
+
+    @property
+    def extractions_per_message(self) -> float:
+        """Regex-bank runs per message — 1.0 means single extraction."""
+        if not self.n_messages:
+            return 0.0
+        return self.work.extracted_messages / self.n_messages
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "n_messages": self.n_messages,
+            "n_batches": self.n_batches,
+            "batch_size": self.batch_size,
+            "distinct_texts": self.distinct_texts,
+            "detections": self.detections,
+            "simulated_seconds": self.simulated_seconds,
+            "messages_per_second": self.messages_per_second,
+            "extractions_per_message": self.extractions_per_message,
+            "busy_breakdown": dict(self.breakdown),
+            "work": self.work.as_dict(),
+            "caches": self.cache_stats,
+        }
+
+
+def run_score_bench(
+    core: ScoringCore,
+    messages: Iterable,
+    batch_size: int = 64,
+    cost: "ServiceCostModel | None" = None,
+    threshold: float = 0.5,
+) -> ScoreBenchResult:
+    """Score ``messages`` through ``core`` and measure the work done.
+
+    Mirrors the serve hot path: each batch's texts are extracted through
+    the router-style cache (once per distinct text), then vectorized and
+    scored; the cost model converts the resulting work ledger into
+    simulated seconds, broken down by component.  ``threshold`` only
+    feeds the reported detection count — no monitor state is touched,
+    this is scoring alone.
+    """
+    if cost is None:
+        # Runtime import: repro.serve imports the scoring core, so the
+        # dependency must stay one-way at module-import time.
+        from repro.serve.batching import ServiceCostModel
+
+        cost = ServiceCostModel()
+    total = ScoreWork()
+    breakdown_totals = {
+        "tokenize_seconds": 0.0,
+        "score_seconds": 0.0,
+        "extract_seconds": 0.0,
+        "state_seconds": 0.0,
+    }
+    n_messages = 0
+    n_batches = 0
+    detections = 0
+    simulated = 0.0
+    for batch in iter_batches(messages, batch_size):
+        routed_work = ScoreWork()
+        routed = []
+        for message in batch:
+            before = core.extraction_cache.misses
+            extraction = core.extract(message.text, work=routed_work)
+            routed.append((extraction, core.extraction_cache.misses > before))
+        scored = core.score_messages(batch, routed=routed)
+        # The router ledger already billed extraction; score_messages
+        # re-billed it from the ``fresh`` flags, so keep only one copy.
+        n_detections = int(
+            ((scored.cth_scores > threshold) | (scored.dox_scores > threshold)).sum()
+        )
+        breakdown = cost.breakdown(scored.work, n_alerts=0)
+        simulated += breakdown.total_seconds
+        for key, value in breakdown.as_dict().items():
+            breakdown_totals[key] += value
+        total.add(scored.work)
+        n_messages += len(batch)
+        n_batches += 1
+        detections += n_detections
+    return ScoreBenchResult(
+        n_messages=n_messages,
+        n_batches=n_batches,
+        batch_size=batch_size,
+        distinct_texts=core.extraction_cache.misses,
+        work=total,
+        detections=detections,
+        simulated_seconds=simulated,
+        breakdown=breakdown_totals,
+        cache_stats=core.cache_stats(),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class GateFailure:
+    """One reason the regression gate rejected a report."""
+
+    check: str
+    detail: str
+
+
+def compare_reports(
+    current: dict,
+    baseline: dict,
+    max_regression: float = 0.02,
+) -> list[GateFailure]:
+    """Throughput-regression gate against a committed baseline report.
+
+    Both reports are deterministic, so the tolerance only absorbs cost
+    -model retuning, not machine noise.  Checks:
+
+    * simulated ``messages_per_second`` has not dropped more than
+      ``max_regression`` (fractional) below the baseline;
+    * extraction still runs at most once per message end to end.
+    """
+    failures: list[GateFailure] = []
+    current_mps = float(current.get("messages_per_second", 0.0))
+    baseline_mps = float(baseline.get("messages_per_second", 0.0))
+    floor = baseline_mps * (1.0 - max_regression)
+    if current_mps < floor:
+        failures.append(GateFailure(
+            check="throughput",
+            detail=(
+                f"simulated throughput regressed: {current_mps:,.0f} msg/s "
+                f"< floor {floor:,.0f} (baseline {baseline_mps:,.0f}, "
+                f"tolerance {max_regression:.0%})"
+            ),
+        ))
+    per_message = float(current.get("extractions_per_message", 0.0))
+    if per_message > 1.0:
+        failures.append(GateFailure(
+            check="single-extraction",
+            detail=(
+                f"PII extraction ran {per_message:.3f}x per message; the "
+                "scoring core guarantees at most once"
+            ),
+        ))
+    return failures

@@ -15,7 +15,7 @@ merged sharded alerts identical to single-monitor output — is asserted
 in ``tests/test_serve_runtime.py``.
 """
 
-from repro.serve.batching import MicroBatcher, ServiceCostModel
+from repro.serve.batching import CostBreakdown, MicroBatcher, ServiceCostModel
 from repro.serve.loadgen import Arrival, LoadProfile, generate_arrivals
 from repro.serve.queueing import (
     BackpressurePolicy,
@@ -41,6 +41,7 @@ __all__ = [
     "Arrival",
     "BackpressurePolicy",
     "BoundedQueue",
+    "CostBreakdown",
     "LatencyHistogram",
     "LoadProfile",
     "MicroBatcher",

@@ -19,6 +19,7 @@ import dataclasses
 import math
 from typing import Sequence
 
+from repro.score.core import ScoreWork
 from repro.serve.queueing import BoundedQueue
 
 
@@ -62,8 +63,33 @@ class MicroBatcher:
         return deadline
 
 
-def _total_chars(texts: Sequence[str]) -> int:
-    return sum(len(t) for t in texts)
+@dataclasses.dataclass(frozen=True)
+class CostBreakdown:
+    """Simulated seconds one batch spent per scoring-path component.
+
+    The components mirror the message hot path: **tokenize** (hashing
+    texts that missed the token cache), **score** (vectorizer dispatch
+    plus model dot products — the only part every message always pays),
+    **extract** (PII regex runs that missed the extraction cache), and
+    **state** (per-alert target-state bookkeeping in the monitor).
+    """
+
+    tokenize_seconds: float = 0.0
+    score_seconds: float = 0.0
+    extract_seconds: float = 0.0
+    state_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.tokenize_seconds
+            + self.score_seconds
+            + self.extract_seconds
+            + self.state_seconds
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return dataclasses.asdict(self)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -73,18 +99,26 @@ class ServiceCostModel:
     An affine model — fixed per-batch overhead (vectorizer dispatch,
     model call) plus per-message and per-character terms — is enough to
     make batching trade-offs visible in the harness without touching a
-    wall clock.
+    wall clock.  :meth:`breakdown` bills a :class:`~repro.score.core.ScoreWork`
+    ledger component by component, charging character-proportional
+    tokenize/extract costs only for the texts that actually ran (cache
+    misses) — which is how the scoring core's single-extraction and
+    token-cache wins become visible in simulated latency.
     """
 
     batch_overhead_seconds: float = 2e-3
     per_message_seconds: float = 4e-4
     per_char_seconds: float = 2e-6
+    extract_per_char_seconds: float = 1e-6
+    state_per_alert_seconds: float = 5e-5
 
     def __post_init__(self) -> None:
         for name in (
             "batch_overhead_seconds",
             "per_message_seconds",
             "per_char_seconds",
+            "extract_per_char_seconds",
+            "state_per_alert_seconds",
         ):
             value = getattr(self, name)
             if not (math.isfinite(value) and value >= 0):
@@ -92,9 +126,23 @@ class ServiceCostModel:
         if self.batch_overhead_seconds + self.per_message_seconds <= 0:
             raise ValueError("a batch must take positive simulated time")
 
-    def service_seconds(self, texts: Sequence[str]) -> float:
-        return (
-            self.batch_overhead_seconds
-            + self.per_message_seconds * len(texts)
-            + self.per_char_seconds * _total_chars(texts)
+    def breakdown(self, work: ScoreWork, n_alerts: int = 0) -> CostBreakdown:
+        """Bill a batch's work ledger per component."""
+        return CostBreakdown(
+            tokenize_seconds=self.per_char_seconds * work.tokenized_chars,
+            score_seconds=(
+                self.batch_overhead_seconds
+                + self.per_message_seconds * work.messages
+            ),
+            extract_seconds=self.extract_per_char_seconds * work.extracted_chars,
+            state_seconds=self.state_per_alert_seconds * n_alerts,
         )
+
+    def service_seconds(self, texts: Sequence[str]) -> float:
+        """Worst-case (all caches cold, no extraction) batch time.
+
+        Equivalent to ``breakdown(ScoreWork.for_uncached_texts(texts))``
+        — the pre-scoring-core cost of a batch, kept for callers that
+        size batching policies without a work ledger.
+        """
+        return self.breakdown(ScoreWork.for_uncached_texts(texts)).total_seconds

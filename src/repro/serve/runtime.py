@@ -2,11 +2,14 @@
 
 The runtime partitions an arrival stream across ``n_shards`` worker
 shards.  Routing is *stable* and keyed on the message's primary target
-handle (:func:`repro.service.monitor.target_handles`, extracted before
-any scoring), falling back to a platform/channel hash for messages that
+handle, falling back to a platform/channel hash for messages that
 reference no target — so every per-target campaign and escalation
 decision sees exactly the messages a single monitor would have seen for
-that target, just on one shard.  That is the headline invariant:
+that target, just on one shard.  The router runs the PII extraction
+(through a bounded LRU, once per distinct text) and attaches it to the
+routed message, so the shard's monitor never re-extracts: one regex
+pass per message end to end, where the pre-core runtime ran two.  That
+is the headline invariant:
 
     For the ``block`` policy, the merged alert stream — sorted by
     ``(timestamp, message_id, kind)`` — is identical, field for field,
@@ -29,6 +32,7 @@ import dataclasses
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence
 
+from repro.score.core import Extraction, ScoreWork, extract_targets
 from repro.service.monitor import Alert, HarassmentMonitor, target_handles
 from repro.service.stream import StreamMessage
 from repro.serve.batching import MicroBatcher, ServiceCostModel
@@ -36,6 +40,7 @@ from repro.serve.loadgen import Arrival, LoadProfile, generate_arrivals
 from repro.serve.queueing import BackpressurePolicy, BoundedQueue, QueuedMessage
 from repro.serve.telemetry import ServeTelemetry, ShardTelemetry
 from repro.util.batching import iter_batches
+from repro.util.cache import LRUCache
 from repro.util.rng import stable_hash
 
 #: Canonical merge order for alert streams; both the sharded runtime and
@@ -44,16 +49,34 @@ def alert_sort_key(alert: Alert) -> tuple[float, int, str]:
     return (alert.timestamp, alert.message_id, alert.kind.value)
 
 
-def routing_key(message: StreamMessage) -> str:
-    """Stable shard-routing key: primary target handle, else channel."""
-    handles, _ = target_handles(message.text)
-    if handles:
-        return handles[0]
+def routing_key(
+    message: StreamMessage, extraction: Extraction | None = None
+) -> str:
+    """Stable shard-routing key: primary target handle, else channel.
+
+    ``extraction`` lets the router reuse a PII extraction it already
+    computed — the production path in :meth:`ServingRuntime.run` passes
+    it so routing never triggers a second regex pass.  Without it this
+    function extracts on the spot (compat path for direct callers).
+    """
+    if extraction is None:
+        handles, _ = target_handles(message.text)
+        primary = handles[0] if handles else None
+    else:
+        primary = extraction.primary_handle
+    if primary is not None:
+        return primary
     return f"channel:{message.platform.value}:{message.channel}"
 
 
-def shard_for(message: StreamMessage, n_shards: int) -> int:
-    return stable_hash("serve-route", routing_key(message)) % n_shards
+def shard_for(
+    message: StreamMessage,
+    n_shards: int,
+    extraction: Extraction | None = None,
+) -> int:
+    return (
+        stable_hash("serve-route", routing_key(message, extraction)) % n_shards
+    )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -66,10 +89,18 @@ class ServeConfig:
     queue_capacity: int = 512
     policy: BackpressurePolicy = BackpressurePolicy.BLOCK
     cost: ServiceCostModel = dataclasses.field(default_factory=ServiceCostModel)
+    #: entries in the router's text -> extraction LRU; bounds router
+    #: memory, never outputs (extraction is a pure function of the text)
+    extraction_cache_size: int = 4096
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.extraction_cache_size < 1:
+            raise ValueError(
+                "extraction_cache_size must be >= 1, "
+                f"got {self.extraction_cache_size}"
+            )
         if self.queue_capacity < self.batch_size:
             raise ValueError(
                 "queue_capacity must be >= batch_size "
@@ -86,6 +117,7 @@ class ServeConfig:
             "queue_capacity": self.queue_capacity,
             "policy": self.policy.value,
             "cost": dataclasses.asdict(self.cost),
+            "extraction_cache_size": self.extraction_cache_size,
         }
 
 
@@ -130,7 +162,10 @@ class ServingRuntime:
     # -- simulation --------------------------------------------------------
 
     def _run_shard(
-        self, shard_id: int, arrivals: Sequence[Arrival]
+        self,
+        shard_id: int,
+        arrivals: Sequence[Arrival],
+        extractions: dict[int, tuple[Extraction, bool]] | None = None,
     ) -> tuple[list[Alert], ShardTelemetry]:
         config = self.config
         monitor = self._monitor_factory()
@@ -140,16 +175,33 @@ class ServingRuntime:
         alerts: list[Alert] = []
         server_free = 0.0
         index, total = 0, len(arrivals)
+        # Monitors built by the factory own a ScoringCore; test doubles
+        # may not — those fall back to process_batch billed as all-miss.
+        core = getattr(monitor, "core", None)
 
         def score(batch: Sequence[QueuedMessage], start: float) -> float:
             """Process one batch at simulated ``start``; returns its end."""
-            end = start + config.cost.service_seconds(
-                [q.message.text for q in batch]
-            )
-            raised = monitor.process_batch([q.message for q in batch])
+            messages = [q.message for q in batch]
+            if core is not None and extractions is not None:
+                routed = [extractions[m.message_id] for m in messages]
+                scored = core.score_messages(messages, routed=routed)
+                raised = monitor.process_scored(scored)
+                # process_scored may lazily code/extract; bill afterwards
+                # so the breakdown sees the full ledger.
+                work = scored.work
+            else:
+                raised = monitor.process_batch(messages)
+                work = ScoreWork.for_uncached_texts([m.text for m in messages])
+            breakdown = config.cost.breakdown(work, n_alerts=len(raised))
+            end = start + breakdown.total_seconds
             alerts.extend(raised)
             telemetry.record_batch(
-                start, end, [start - q.enqueue_time for q in batch], len(raised)
+                start,
+                end,
+                [start - q.enqueue_time for q in batch],
+                len(raised),
+                breakdown=breakdown,
+                work=work,
             )
             return end
 
@@ -187,25 +239,45 @@ class ServingRuntime:
         """Route and serve ``arrivals``; returns merged, sorted output."""
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
-        per_shard: list[list[Arrival]] = [
-            [] for _ in range(self.config.n_shards)
+        n_shards = self.config.n_shards
+        per_shard: list[list[Arrival]] = [[] for _ in range(n_shards)]
+        # The router extracts each distinct text once (bounded LRU) and
+        # hands the extraction to the target shard alongside the message,
+        # so shard monitors never rerun the PII bank.  Routing is single
+        # -threaded, so the fresh/hit flags — and therefore every
+        # shard's simulated extract cost — are independent of ``jobs``.
+        shard_extractions: list[dict[int, tuple[Extraction, bool]]] = [
+            {} for _ in range(n_shards)
         ]
+        router_cache: LRUCache[str, Extraction] = LRUCache(
+            self.config.extraction_cache_size
+        )
         for arrival in arrivals:
-            per_shard[shard_for(arrival.message, self.config.n_shards)].append(
-                arrival
+            message = arrival.message
+            extraction, hit = router_cache.get_or_compute(
+                message.text, extract_targets
             )
-        if jobs == 1 or self.config.n_shards == 1:
+            shard = (
+                stable_hash("serve-route", routing_key(message, extraction))
+                % n_shards
+            )
+            per_shard[shard].append(arrival)
+            shard_extractions[shard][message.message_id] = (extraction, not hit)
+        if jobs == 1 or n_shards == 1:
             outcomes = [
-                self._run_shard(shard_id, shard_arrivals)
-                for shard_id, shard_arrivals in enumerate(per_shard)
+                self._run_shard(shard_id, shard_arrivals, extractions)
+                for shard_id, (shard_arrivals, extractions) in enumerate(
+                    zip(per_shard, shard_extractions)
+                )
             ]
         else:
             with ThreadPoolExecutor(max_workers=jobs) as pool:
                 outcomes = list(
                     pool.map(
                         self._run_shard,
-                        range(self.config.n_shards),
+                        range(n_shards),
                         per_shard,
+                        shard_extractions,
                     )
                 )
         merged: list[Alert] = []

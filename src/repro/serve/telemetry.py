@@ -15,7 +15,9 @@ from __future__ import annotations
 import dataclasses
 from typing import Iterable, Sequence
 
+from repro.score.core import ScoreWork
 from repro.service.monitor import MonitorStats
+from repro.serve.batching import CostBreakdown
 from repro.serve.queueing import QueueAccounting
 
 #: Histogram bucket upper bounds in seconds: four per decade from 10 µs
@@ -107,6 +109,19 @@ class ShardTelemetry:
     messages_scored: int = 0
     alerts_raised: int = 0
     busy_seconds: float = 0.0
+    #: busy_seconds split by scoring-path component (tokenize / score /
+    #: extract / state); only populated when the runtime passes a
+    #: :class:`~repro.serve.batching.CostBreakdown` per batch.
+    busy_breakdown: dict[str, float] = dataclasses.field(
+        default_factory=lambda: {
+            "tokenize_seconds": 0.0,
+            "score_seconds": 0.0,
+            "extract_seconds": 0.0,
+            "state_seconds": 0.0,
+        }
+    )
+    #: accumulated scoring-work ledger across this shard's batches
+    score_work: ScoreWork = dataclasses.field(default_factory=ScoreWork)
     first_batch_start: float = float("inf")
     last_batch_end: float = 0.0
     service_time: LatencyHistogram = dataclasses.field(
@@ -122,11 +137,18 @@ class ShardTelemetry:
         end: float,
         waits: Sequence[float],
         n_alerts: int,
+        breakdown: CostBreakdown | None = None,
+        work: ScoreWork | None = None,
     ) -> None:
         self.batches += 1
         self.messages_scored += len(waits)
         self.alerts_raised += n_alerts
         self.busy_seconds += end - start
+        if breakdown is not None:
+            for key, value in breakdown.as_dict().items():
+                self.busy_breakdown[key] += value
+        if work is not None:
+            self.score_work.add(work)
         self.first_batch_start = min(self.first_batch_start, start)
         self.last_batch_end = max(self.last_batch_end, end)
         self.service_time.record(end - start)
@@ -142,6 +164,8 @@ class ShardTelemetry:
             "messages_scored": self.messages_scored,
             "alerts_raised": self.alerts_raised,
             "busy_seconds": self.busy_seconds,
+            "busy_breakdown": dict(self.busy_breakdown),
+            "score_work": self.score_work.as_dict(),
             "service_time": self.service_time.as_dict(),
             "queue_wait": self.queue_wait.as_dict(),
         }
@@ -178,6 +202,26 @@ class ServeTelemetry:
     def merged_monitor_stats(self) -> MonitorStats:
         return MonitorStats.merged(s.monitor for s in self.shards)
 
+    def merged_busy_breakdown(self) -> dict[str, float]:
+        """Fleet busy seconds per scoring-path component."""
+        totals = {
+            "tokenize_seconds": 0.0,
+            "score_seconds": 0.0,
+            "extract_seconds": 0.0,
+            "state_seconds": 0.0,
+        }
+        for shard in self.shards:
+            for key, value in shard.busy_breakdown.items():
+                totals[key] += value
+        return totals
+
+    def merged_score_work(self) -> ScoreWork:
+        """Fleet-wide scoring-work ledger."""
+        total = ScoreWork()
+        for shard in self.shards:
+            total.add(shard.score_work)
+        return total
+
     @property
     def messages_scored(self) -> int:
         return sum(s.messages_scored for s in self.shards)
@@ -206,6 +250,8 @@ class ServeTelemetry:
             "throughput_per_second": self.throughput_per_second,
             "queue": self._merged_accounting().as_dict(),
             "monitor": self.merged_monitor_stats().as_dict(),
+            "busy_breakdown": self.merged_busy_breakdown(),
+            "score_work": self.merged_score_work().as_dict(),
             "service_time": self.merged_service_time().as_dict(),
             "queue_wait": self.merged_queue_wait().as_dict(),
             "per_shard": [s.as_dict() for s in self.shards],

@@ -12,6 +12,17 @@ target.  Alerts:
 * ``DOX_ESCALATION`` — a detected dox whose target already had a recent
   call to harassment (the §6.3 thread-overlap pattern, generalised to
   targets).
+
+All text processing — tokenization, feature hashing, model scoring, PII
+extraction, taxonomy coding — lives in the shared
+:class:`~repro.score.core.ScoringCore` (cache-backed, single extraction
+per distinct text); this module only keeps the *stateful* part:
+:meth:`HarassmentMonitor.process_scored` turns a pure
+:class:`~repro.score.core.ScoredBatch` into alerts by updating
+per-target windows.  The serving runtime scores batches itself (with
+router-precomputed extractions) and calls ``process_scored`` directly;
+:meth:`HarassmentMonitor.process_batch` wraps both steps for the batch
+path.
 """
 
 from __future__ import annotations
@@ -21,13 +32,9 @@ import dataclasses
 import enum
 from typing import Iterable, Sequence
 
-from repro.extraction.pii import extract_pii
-from repro.nlp.features import HashingVectorizer
+from repro.score.core import ScoredBatch, ScoringCore, extract_targets
 from repro.service.stream import StreamMessage
-from repro.taxonomy.coding import ExpertCoder
 from repro.util.batching import iter_batches
-
-_OSN = ("facebook", "instagram", "twitter", "youtube")
 
 
 def target_handles(text: str) -> tuple[list[str], dict[str, list[str]]]:
@@ -36,16 +43,17 @@ def target_handles(text: str) -> tuple[list[str], dict[str, list[str]]]:
 
     Handles are ``platform:value`` strings in extraction order, so
     ``handles[0]`` is the message's *primary* target — the key the
-    serving runtime shards on (:mod:`repro.serve.runtime`), which is why
-    this lives at module level rather than on the monitor.
+    serving runtime shards on (:mod:`repro.serve.runtime`).  Handles are
+    lowercased and deduplicated *after* lowercasing: a message naming
+    "twitter.com/Alice" and "twitter: alice" references one target, not
+    two.  Thin compatibility wrapper over
+    :func:`repro.score.core.extract_targets`.
     """
-    extracted = extract_pii(text)
-    handles = [
-        f"{category}:{value.lower()}"
-        for category in _OSN
-        for value in extracted.get(category, ())
-    ]
-    return handles, extracted
+    extraction = extract_targets(text)
+    return (
+        list(extraction.handles),
+        {category: list(values) for category, values in extraction.pii.items()},
+    )
 
 
 class AlertKind(enum.Enum):
@@ -111,21 +119,24 @@ class MonitorStats:
 
 
 class HarassmentMonitor:
-    """Stateful online detector over a message stream."""
+    """Stateful online detector over a message stream.
+
+    Owns a :class:`~repro.score.core.ScoringCore` (one per monitor, so
+    per-shard cache state stays shard-local and deterministic) but keeps
+    only the alerting *state machine* here.
+    """
 
     def __init__(
         self,
         cth_model,
         dox_model,
-        vectorizer: HashingVectorizer,
+        vectorizer,
         config: MonitorConfig | None = None,
+        core: ScoringCore | None = None,
     ) -> None:
-        self._cth = cth_model
-        self._dox = dox_model
-        self._vectorizer = vectorizer
+        self.core = core or ScoringCore(cth_model, dox_model, vectorizer)
         self.config = config or MonitorConfig()
         self.stats = MonitorStats()
-        self._coder = ExpertCoder()
         #: target handle -> deque of (timestamp, message_id) detections
         self._target_activity: dict[str, collections.deque] = {}
         #: target handle -> timestamp of last campaign alert
@@ -136,9 +147,6 @@ class HarassmentMonitor:
         self._watermark = float("-inf")
 
     # -- internals ------------------------------------------------------------
-
-    def _handles(self, text: str) -> tuple[list[str], dict[str, list[str]]]:
-        return target_handles(text)
 
     def _evict_stale_targets(self) -> None:
         """Drop per-target state older than the campaign window.
@@ -182,29 +190,33 @@ class HarassmentMonitor:
 
     # -- public ----------------------------------------------------------------
 
-    def process_batch(self, messages: Sequence[StreamMessage]) -> list[Alert]:
-        """Score one batch; returns the alerts it raised, in order."""
-        if not messages:
-            return []
-        features = self._vectorizer.transform_texts([m.text for m in messages])
-        cth_scores = self._cth.predict_proba(features)
-        dox_scores = self._dox.predict_proba(features)
+    def process_scored(self, scored: ScoredBatch) -> list[Alert]:
+        """Apply per-target alerting state to an already-scored batch.
+
+        The pure half (features, model scores, extraction) is in the
+        :class:`~repro.score.core.ScoredBatch`; this method only reads
+        scores, lazily pulls extractions for messages that crossed a
+        threshold, and mutates the sliding-window target tables.
+        """
         alerts: list[Alert] = []
-        for message, cth_score, dox_score in zip(messages, cth_scores, dox_scores):
+        for index, message in enumerate(scored.messages):
+            cth_score = scored.cth_scores[index]
+            dox_score = scored.dox_scores[index]
             self.stats.messages_processed += 1
             self._watermark = max(self._watermark, message.timestamp)
             is_cth = cth_score > self.config.cth_threshold
             is_dox = dox_score > self.config.dox_threshold
             if not is_cth and not is_dox:
                 continue
-            handles, extracted = self._handles(message.text)
+            extraction = scored.extraction(index)
+            handles = extraction.handles
             if is_cth:
                 self.stats.cth_detected += 1
-                subtypes = ", ".join(str(s) for s in self._coder.code_text(message.text))
+                subtypes = ", ".join(str(s) for s in scored.subtypes(index))
                 alerts.append(Alert(
                     AlertKind.CTH, message.message_id, message.timestamp,
                     float(cth_score),
-                    target_handle=handles[0] if handles else None,
+                    target_handle=extraction.primary_handle,
                     detail=subtypes,
                 ))
                 for handle in handles:
@@ -214,8 +226,8 @@ class HarassmentMonitor:
                 alerts.append(Alert(
                     AlertKind.DOX, message.message_id, message.timestamp,
                     float(dox_score),
-                    target_handle=handles[0] if handles else None,
-                    detail=f"pii: {', '.join(extracted) or 'none'}",
+                    target_handle=extraction.primary_handle,
+                    detail=f"pii: {', '.join(extraction.pii) or 'none'}",
                 ))
                 for handle in handles:
                     last_cth = self._last_cth_for_target.get(handle)
@@ -244,6 +256,12 @@ class HarassmentMonitor:
                     ))
         self._evict_stale_targets()
         return alerts
+
+    def process_batch(self, messages: Sequence[StreamMessage]) -> list[Alert]:
+        """Score one batch through the core and apply alerting state."""
+        if not messages:
+            return []
+        return self.process_scored(self.core.score_messages(messages))
 
     def run(self, stream: Iterable[StreamMessage], batch_size: int = 256) -> list[Alert]:
         """Consume an entire stream; returns all alerts."""

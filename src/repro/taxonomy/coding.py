@@ -16,6 +16,7 @@ import re
 from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from repro.taxonomy.attack_types import PARENT_OF, AttackSubtype, AttackType
+from repro.util.cache import LRUCache
 
 if TYPE_CHECKING:  # avoid a circular import with repro.corpus.documents
     from repro.corpus.documents import Document
@@ -186,7 +187,18 @@ class CodedDocument:
 
 
 class ExpertCoder:
-    """Rule-based stand-in for the paper's domain-expert coders."""
+    """Rule-based stand-in for the paper's domain-expert coders.
+
+    ``cache_size`` bounds an optional LRU memoising :meth:`code_text`
+    per distinct text — coding is a pure function of the text, so the
+    cache (and its eviction) can never change which subtypes a post
+    gets, only how often the signature bank actually runs.
+    """
+
+    def __init__(self, cache_size: int = 0) -> None:
+        self._cache: LRUCache[str, tuple[AttackSubtype, ...]] | None = (
+            LRUCache(cache_size) if cache_size > 0 else None
+        )
 
     def code_text(self, text: str) -> tuple[AttackSubtype, ...]:
         """Assign taxonomy subtypes to raw text.
@@ -195,6 +207,16 @@ class ExpertCoder:
         the coder as a call to harassment gets the GENERIC label, mirroring
         the paper's handling of calls "without an explicit tactic".
         """
+        return self.code_text_cached(text)[0]
+
+    def code_text_cached(self, text: str) -> tuple[tuple[AttackSubtype, ...], bool]:
+        """Like :meth:`code_text`, plus whether the result was a cache hit."""
+        if self._cache is not None:
+            return self._cache.get_or_compute(text, self._code_uncached)
+        return self._code_uncached(text), False
+
+    @staticmethod
+    def _code_uncached(text: str) -> tuple[AttackSubtype, ...]:
         matched = tuple(
             subtype for subtype, pattern in _COMPILED.items() if pattern.search(text)
         )
@@ -204,6 +226,14 @@ class ExpertCoder:
         if len(matched) > 1 and AttackSubtype.GENERIC in matched:
             matched = tuple(s for s in matched if s is not AttackSubtype.GENERIC)
         return matched
+
+    def code_texts(self, texts: Sequence[str]) -> list[tuple[AttackSubtype, ...]]:
+        """:meth:`code_text` over a batch (memoised when caching is on)."""
+        return [self.code_text(text) for text in texts]
+
+    def cache_stats(self) -> dict[str, int | float] | None:
+        """Counter snapshot of the coding cache, or ``None`` if disabled."""
+        return self._cache.stats() if self._cache is not None else None
 
     def code(self, document: Document) -> CodedDocument:
         return CodedDocument(document=document, subtypes=self.code_text(document.text))

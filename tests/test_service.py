@@ -251,16 +251,18 @@ def test_monitor_eviction_does_not_change_alerts(monitor_models):
 
 
 def test_monitor_extracts_pii_once_per_message(monitor_models, monkeypatch):
-    import repro.service.monitor as monitor_module
+    # All extraction funnels through repro.score.core.extract_pii — the
+    # monitor itself never imports the regex bank.
+    import repro.score.core as score_core
 
     calls = []
-    real = monitor_module.extract_pii
+    real = score_core.extract_pii
 
     def counting(text):
         calls.append(text)
         return real(text)
 
-    monkeypatch.setattr(monitor_module, "extract_pii", counting)
+    monkeypatch.setattr(score_core, "extract_pii", counting)
     monitor = _monitor(monitor_models)
     alerts = monitor.process_batch([_msg(1, DOX_TEXT, 0.0)])
     # The DOX detail string reuses the extraction made for handle
