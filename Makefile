@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint lint-repro bench bench-tiny study cache-clean verify-cache test-recovery test-serve serve-bench score-bench experiments examples clean
+.PHONY: install test lint lint-repro bench bench-tiny study cache-clean verify-cache test-recovery test-serve serve-bench score-bench test-obs obs-smoke experiments examples clean
 
 CACHE_DIR ?= .study-cache
 
@@ -55,6 +55,26 @@ score-bench:
 	PYTHONPATH=src python -m repro.cli score-bench --tiny \
 		--report score-bench-report.json \
 		--baseline benchmarks/reports/BENCH_score.json $(ARGS)
+
+# Observability suite: tracer/registry/exporter units plus the
+# cross-runtime byte-identical-trace and diff-gate integration tests.
+test-obs:
+	PYTHONPATH=src python -m pytest tests/test_obs.py tests/test_obs_integration.py -q
+
+# The CI observability check, runnable locally: trace two identical
+# serve-bench runs, byte-compare their traces and metric snapshots,
+# then read them back through the repro obs CLI (diff gates throughput
+# regressions >2%).
+obs-smoke:
+	rm -rf .obs-smoke && mkdir -p .obs-smoke
+	PYTHONPATH=src python -m repro.cli serve-bench --tiny --shards 4 \
+		--report .obs-smoke/run_a.json --trace-dir .obs-smoke/run_a
+	PYTHONPATH=src python -m repro.cli serve-bench --tiny --shards 4 \
+		--report .obs-smoke/run_b.json --trace-dir .obs-smoke/run_b
+	cmp .obs-smoke/run_a/trace.jsonl .obs-smoke/run_b/trace.jsonl
+	cmp .obs-smoke/run_a/metrics.json .obs-smoke/run_b/metrics.json
+	PYTHONPATH=src python -m repro.cli obs report .obs-smoke/run_a
+	PYTHONPATH=src python -m repro.cli obs diff .obs-smoke/run_a .obs-smoke/run_b
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -13,9 +13,12 @@ Subcommands::
                     [--batch-size N] [--max-delay-ms F] [--queue-capacity N]
                     [--policy block|drop-oldest|shed-newest] [--rate F]
                     [--burst-every N --burst-size N] [--jobs N]
-                    [--check-equivalence] [--report FILE]
+                    [--check-equivalence] [--report FILE] [--trace-dir DIR]
     repro score-bench [--tiny/--full] [--seed N] [--batch-size N]
                     [--report FILE] [--baseline FILE] [--max-regression F]
+                    [--trace-dir DIR]
+    repro obs       report|trace DIR | diff BEFORE AFTER
+                    [--max-regression F] [--limit N]
     repro train     --corpus corpus.jsonl --task dox|cth --out model.npz
     repro score     --model model.npz [--text "..."] [--file posts.txt]
     repro assess    --text "..."      (taxonomy coding + PII + harm risks)
@@ -37,7 +40,12 @@ alert/latency/throughput summary, and writes a machine-readable JSON
 report (deterministic — the simulation never reads a wall clock);
 ``score-bench`` isolates the shared scoring core (``repro.score``) and
 reports simulated messages/sec plus a per-component work ledger, with an
-optional ``--baseline`` regression gate for CI.
+optional ``--baseline`` regression gate for CI; ``--trace-dir`` on
+``study``/``serve-bench``/``score-bench`` additionally saves the run's
+deterministic observability bundle (structured trace, Chrome trace-event
+export, labeled metrics snapshot, text dashboard), which ``obs``
+inspects (``report``/``trace``) and regression-gates run over run
+(``diff``).
 """
 
 from __future__ import annotations
@@ -126,6 +134,7 @@ def cmd_study(args) -> int:
         jobs=args.jobs,
         force=args.force,
         retries=args.retries,
+        trace_dir=args.trace_dir,
     )
     report = study.run_report
     print(report.render())
@@ -146,6 +155,8 @@ def cmd_study(args) -> int:
         (directory / "table3.txt").write_text(render_table3(study.results) + "\n")
         (directory / "table4.txt").write_text(render_table4(study.results) + "\n")
         print(f"\n3 reports written to {args.report_dir}")
+    if args.trace_dir:
+        print(f"\ntrace dir written to {args.trace_dir}")
     return 0
 
 
@@ -298,8 +309,15 @@ def cmd_serve_bench(args) -> int:
         burst_size=args.burst_size,
         seed=args.seed,
     )
+    recorder = None
+    if args.trace_dir:
+        from repro.obs import RunObserver
+
+        recorder = RunObserver("serve-bench")
     runtime = ServingRuntime(monitor_factory, config)
-    result = runtime.serve_stream(stream, profile, jobs=args.jobs)
+    result = runtime.serve_stream(
+        stream, profile, jobs=args.jobs, recorder=recorder
+    )
     report = result.as_dict()
     report["load"] = {
         "rate_per_second": profile.rate_per_second,
@@ -377,6 +395,9 @@ def cmd_serve_bench(args) -> int:
     report_path.parent.mkdir(parents=True, exist_ok=True)
     report_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"report written to {report_path}")
+    if recorder is not None:
+        recorder.save(args.trace_dir)
+        print(f"trace dir written to {args.trace_dir}")
     if report["equivalence"] == "FAILED" or result.unaccounted:
         return 1
     return 0
@@ -392,8 +413,15 @@ def cmd_score_bench(args) -> int:
 
     models, vectorizer, stream = _serve_models(args)
     core = ScoringCore(models[Task.CTH], models[Task.DOX], vectorizer)
+    recorder = None
+    if args.trace_dir:
+        from repro.obs import RunObserver
+
+        recorder = RunObserver("score-bench")
     wall_start = time.perf_counter()
-    result = run_score_bench(core, stream, batch_size=args.batch_size)
+    result = run_score_bench(
+        core, stream, batch_size=args.batch_size, recorder=recorder
+    )
     wall_seconds = time.perf_counter() - wall_start
     report = result.as_dict()
 
@@ -442,6 +470,9 @@ def cmd_score_bench(args) -> int:
     report_path.parent.mkdir(parents=True, exist_ok=True)
     report_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"report written to {report_path}")
+    if recorder is not None:
+        recorder.save(args.trace_dir)
+        print(f"trace dir written to {args.trace_dir}")
 
     if args.baseline:
         baseline_path = pathlib.Path(args.baseline)
@@ -460,6 +491,121 @@ def cmd_score_bench(args) -> int:
             f"gate ok vs {baseline_path} "
             f"(tolerance {args.max_regression:.0%})"
         )
+    return 0
+
+
+def cmd_obs(args) -> int:
+    from repro.obs import DASHBOARD_FILE, diff_runs, load_run
+    from repro.util.tables import format_table
+
+    try:
+        if args.action == "diff":
+            before = load_run(args.before)
+            after = load_run(args.after)
+        else:
+            artifacts = load_run(args.trace_dir)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.action == "report":
+        manifest = artifacts.manifest
+        print(
+            f"run {artifacts.run!r} at {artifacts.path} "
+            f"({manifest.get('records', 0):,} trace records, "
+            f"{manifest.get('metric_families', 0)} metric families)\n"
+        )
+        dashboard = artifacts.path / DASHBOARD_FILE
+        if dashboard.exists():
+            print(dashboard.read_text(), end="")
+        else:
+            print("(no dashboard in this trace dir)")
+        return 0
+
+    if args.action == "trace":
+        records = artifacts.trace_records()
+        if not records:
+            print("(empty trace)")
+            return 0
+        summary: dict[str, dict[str, float]] = {}
+        for record in records:
+            entry = summary.setdefault(
+                record["name"], {"spans": 0, "events": 0, "total_s": 0.0}
+            )
+            if record["type"] == "span":
+                entry["spans"] += 1
+                entry["total_s"] += record["end"] - record["start"]
+            else:
+                entry["events"] += 1
+        rows = [
+            (
+                name,
+                f"{entry['spans']:,.0f}",
+                f"{entry['events']:,.0f}",
+                f"{entry['total_s']:.6f}",
+            )
+            for name, entry in sorted(summary.items())
+        ]
+        print(format_table(
+            ("name", "spans", "events", "total s"), rows, title="Trace summary"
+        ))
+        print()
+        shown = records if args.limit is None else records[: args.limit]
+        for record in shown:
+            if record["type"] == "span":
+                line = (
+                    f"[{record['seq']:>6}] span  {record['name']:<12} "
+                    f"{record['start']:.6f} -> {record['end']:.6f}"
+                )
+            else:
+                line = (
+                    f"[{record['seq']:>6}] event {record['name']:<12} "
+                    f"@ {record['ts']:.6f}"
+                )
+            labels = record.get("labels") or {}
+            if labels:
+                line += "  " + ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+            print(line)
+        if args.limit is not None and len(records) > args.limit:
+            print(f"... {len(records) - args.limit:,} more records")
+        print(f"\nchrome trace: {artifacts.chrome_trace_path()}")
+        return 0
+
+    # diff
+    report = diff_runs(before, after, max_regression=args.max_regression)
+    changed = [d for d in report.deltas if d.changed]
+    if not changed:
+        print(
+            f"no metric changes between {before.path} and {after.path} "
+            f"({len(report.deltas)} series compared)"
+        )
+        return 0
+    rows = []
+    for delta in changed[: args.limit] if args.limit else changed:
+        pct = f"{delta.pct:+.1%}" if delta.pct is not None else "-"
+        rows.append((
+            delta.metric,
+            delta.labels,
+            "-" if delta.before is None else f"{delta.before:,.6g}",
+            "-" if delta.after is None else f"{delta.after:,.6g}",
+            pct,
+        ))
+    print(format_table(
+        ("metric", "labels", "before", "after", "pct"),
+        rows,
+        title=f"Changed series ({report.n_changed} of {len(report.deltas)})",
+    ))
+    if args.limit and len(changed) > args.limit:
+        print(f"... {len(changed) - args.limit:,} more changed series")
+    print()
+    if report.regressions:
+        for regression in report.regressions:
+            print(f"GATE FAILED: {regression.describe()}")
+        return 1
+    print(
+        f"gate ok: no tracked throughput dropped more than "
+        f"{args.max_regression:.0%}"
+    )
     return 0
 
 
@@ -603,6 +749,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-execute a transiently failing stage up to N extra times",
     )
     p_study.add_argument("--report-dir", default=None)
+    p_study.add_argument(
+        "--trace-dir", default=None,
+        help="save the deterministic observability bundle (repro obs) here",
+    )
     p_study.set_defaults(func=cmd_study)
 
     p_cache = sub.add_parser(
@@ -700,6 +850,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", default="benchmarks/reports/BENCH_serve.json",
         help="write the machine-readable JSON report here",
     )
+    p_serve.add_argument(
+        "--trace-dir", default=None,
+        help="save the deterministic observability bundle (repro obs) here",
+    )
     p_serve.set_defaults(func=cmd_serve_bench)
 
     p_score_bench = sub.add_parser(
@@ -727,7 +881,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-regression", type=float, default=0.02,
         help="allowed fractional throughput drop vs the baseline",
     )
+    p_score_bench.add_argument(
+        "--trace-dir", default=None,
+        help="save the deterministic observability bundle (repro obs) here",
+    )
     p_score_bench.set_defaults(func=cmd_score_bench)
+
+    p_obs = sub.add_parser(
+        "obs", help="inspect and diff deterministic observability bundles"
+    )
+    obs_sub = p_obs.add_subparsers(dest="action", required=True)
+    p_obs_report = obs_sub.add_parser(
+        "report", help="print a trace dir's metrics dashboard"
+    )
+    p_obs_report.add_argument("trace_dir")
+    p_obs_report.set_defaults(func=cmd_obs)
+    p_obs_trace = obs_sub.add_parser(
+        "trace", help="summarize and list a trace dir's records"
+    )
+    p_obs_trace.add_argument("trace_dir")
+    p_obs_trace.add_argument(
+        "--limit", type=int, default=30,
+        help="records to list after the summary (0 = summary only)",
+    )
+    p_obs_trace.set_defaults(func=cmd_obs)
+    p_obs_diff = obs_sub.add_parser(
+        "diff", help="compare two trace dirs' metric snapshots"
+    )
+    p_obs_diff.add_argument("before")
+    p_obs_diff.add_argument("after")
+    p_obs_diff.add_argument(
+        "--max-regression", type=float, default=0.02,
+        help="allowed fractional drop in tracked throughput gauges",
+    )
+    p_obs_diff.add_argument(
+        "--limit", type=int, default=40,
+        help="changed series to list (0 = all)",
+    )
+    p_obs_diff.set_defaults(func=cmd_obs)
 
     p_train = sub.add_parser("train", help="train a filter model from a JSONL corpus")
     p_train.add_argument("--corpus", required=True)

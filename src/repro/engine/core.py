@@ -37,6 +37,7 @@ from typing import Callable, Mapping, Sequence
 from repro.engine.keys import fingerprint
 from repro.engine.recovery import RetryPolicy
 from repro.engine.store import PICKLE, ArtifactStore, Codec
+from repro.obs.trace import Tracer
 from repro.util.tables import format_table
 
 #: Stage completion statuses recorded in the run report.
@@ -109,6 +110,26 @@ class RunReport:
         rows.append((summary + ")", "", f"{self.total_seconds:.3f}", "", ""))
         return format_table(("stage", "status", "seconds", "tries", "key"), rows)
 
+    def populate_metrics(self, registry) -> None:
+        """Project the run into an observability registry.
+
+        Deliberately excludes wall-clock ``seconds``: the registry
+        snapshot (like the trace) must be byte-identical across runs, so
+        only the deterministic facts — stage statuses and retry counts —
+        are projected.  Timings stay in :meth:`render` where
+        non-determinism is expected.
+        """
+        statuses = registry.counter(
+            "engine_stages", help="stage resolutions by cache status"
+        )
+        retries = registry.counter(
+            "engine_retries", help="extra stage-function attempts absorbed"
+        )
+        for record in self.records:
+            statuses.labels(status=record.status).inc()
+            if record.attempts > 1:
+                retries.labels(stage=record.name).inc(record.attempts - 1)
+
 
 @dataclasses.dataclass(frozen=True)
 class RunOutcome:
@@ -130,6 +151,7 @@ class Engine:
         jobs: int = 1,
         force: bool = False,
         retry: RetryPolicy | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -137,6 +159,11 @@ class Engine:
         self.jobs = jobs
         self.force = force
         self.retry = retry or RetryPolicy()
+        #: observability sink; stage spans are flushed on a *logical*
+        #: clock in plan order at the end of ``run()``, so the trace is
+        #: byte-identical across runs and ``jobs`` settings (wall-clock
+        #: timings stay in the RunReport, never in the trace)
+        self.tracer = tracer
         self._stages: dict[str, Stage] = {}
         self._keys: dict[str, str] = {}
 
@@ -225,6 +252,13 @@ class Engine:
         # is visible in the report.
         extras: dict[str, StageRecord] = {}
         extras_lock = threading.Lock()
+        # Per-stage trace-event buffers.  Each buffer is written only by
+        # the one worker resolving that stage (recovery events land in
+        # the consumer stage's buffer), so no lock is needed; the flush
+        # below replays them in plan order on a logical clock.
+        stage_events: dict[str, list[tuple[str, dict[str, object]]]] = (
+            {name: [] for name in order} if self.tracer is not None else {}
+        )
 
         def record_extra(record: StageRecord) -> None:
             with extras_lock:
@@ -233,13 +267,58 @@ class Engine:
         if self.jobs == 1 or len(order) <= 1:
             for name in order:
                 values[name], records[name] = self._resolve(
-                    name, plan[name], values, record_extra
+                    name, plan[name], values, record_extra,
+                    events=stage_events.get(name),
                 )
         else:
-            self._run_parallel(order, plan, values, records, record_extra)
+            self._run_parallel(
+                order, plan, values, records, record_extra, stage_events
+            )
         ordered = [records[name] for name in order]
         ordered.extend(extras[n] for n in sorted(extras) if n not in records)
-        return RunOutcome(values=values, report=RunReport(records=tuple(ordered)))
+        report = RunReport(records=tuple(ordered))
+        if self.tracer is not None:
+            self._flush_trace(targets, order, report, stage_events)
+        return RunOutcome(values=values, report=report)
+
+    def _flush_trace(
+        self,
+        targets: Sequence[str],
+        order: Sequence[str],
+        report: RunReport,
+        stage_events: Mapping[str, Sequence[tuple[str, dict[str, object]]]],
+    ) -> None:
+        """Emit the run's spans on a logical clock, one tick per stage.
+
+        Stages are replayed in deterministic plan order — not completion
+        order — and wall-clock seconds never enter the trace, so the
+        bytes are identical for ``jobs=1`` and ``jobs=N`` and across
+        machines.
+        """
+        run_span = self.tracer.span(
+            "engine-run",
+            targets=",".join(targets),
+            stages=len(report.records),
+            cache_hits=report.n_cache_hits,
+            recovered=report.n_recovered,
+        )
+        clock = 0.0
+        in_plan = set(order)
+        for record in report.records:
+            stage_span = run_span.child(
+                "stage",
+                start=clock,
+                end=clock + 1.0,
+                stage=record.name,
+                status=record.status,
+                attempts=record.attempts,
+                key=record.key[:12],
+                planned=record.name in in_plan,
+            )
+            for event_name, labels in stage_events.get(record.name, ()):
+                stage_span.event(event_name, clock, **labels)
+            clock += 1.0
+        run_span.close(0.0, clock)
 
     def _execute(
         self, stage: Stage, input_values: Sequence[object]
@@ -280,6 +359,7 @@ class Engine:
         name: str,
         memo: dict[str, object],
         record_extra: Callable[[StageRecord], None],
+        events: list[tuple[str, dict[str, object]]] | None = None,
     ) -> object:
         """Resolve one upstream stage on demand during recovery.
 
@@ -287,7 +367,10 @@ class Engine:
         resolve it now: load its artifact when intact, quarantine and
         recompute otherwise, recursing only into the inputs that are
         actually needed.  ``memo`` carries already-resolved values so a
-        diamond-shaped subgraph computes each stage once.
+        diamond-shaped subgraph computes each stage once.  ``events``
+        is the *consumer* stage's trace buffer: demand-resolutions are
+        part of that stage's recovery story, and the buffer stays
+        single-writer because the whole recovery runs on its thread.
         """
         if name in memo:
             return memo[name]
@@ -305,10 +388,17 @@ class Engine:
         ):
             value, loaded = self._try_load(name, key, stage)
             status = STATUS_HIT if loaded else STATUS_RECOVERED
+            if not loaded and events is not None:
+                events.append(("quarantine", {"stage": name}))
         if not loaded:
-            inputs = [self._demand(dep, memo, record_extra) for dep in stage.inputs]
+            inputs = [
+                self._demand(dep, memo, record_extra, events)
+                for dep in stage.inputs
+            ]
             value, attempts = self._compute_and_save(name, key, stage, inputs)
         memo[name] = value
+        if events is not None:
+            events.append(("demand", {"stage": name, "status": status}))
         record_extra(StageRecord(
             name=name, status=status, seconds=time.perf_counter() - started,
             key=key, attempts=attempts,
@@ -321,6 +411,7 @@ class Engine:
         status: str,
         values: Mapping[str, object],
         record_extra: Callable[[StageRecord], None],
+        events: list[tuple[str, dict[str, object]]] | None = None,
     ) -> tuple[object, StageRecord]:
         stage = self._stages[name]
         key = self.key_of(name)
@@ -333,8 +424,13 @@ class Engine:
                 # re-execute this stage plus only the upstream subgraph
                 # it needs (the planner pruned those as leaves).
                 status = STATUS_RECOVERED
+                if events is not None:
+                    events.append(("quarantine", {"stage": name}))
                 memo = dict(values)
-                inputs = [self._demand(dep, memo, record_extra) for dep in stage.inputs]
+                inputs = [
+                    self._demand(dep, memo, record_extra, events)
+                    for dep in stage.inputs
+                ]
                 value, attempts = self._compute_and_save(name, key, stage, inputs)
         else:
             value, attempts = self._compute_and_save(
@@ -352,6 +448,7 @@ class Engine:
         values: dict[str, object],
         records: dict[str, StageRecord],
         record_extra: Callable[[StageRecord], None],
+        stage_events: Mapping[str, list[tuple[str, dict[str, object]]]] | None = None,
     ) -> None:
         # Cache hits have no scheduling dependencies: their inputs are
         # pruned from the plan entirely.
@@ -371,7 +468,10 @@ class Engine:
         def resolve(name: str) -> tuple[object, StageRecord]:
             with lock:
                 snapshot = dict(values)
-            return self._resolve(name, plan[name], snapshot, record_extra)
+            return self._resolve(
+                name, plan[name], snapshot, record_extra,
+                events=(stage_events or {}).get(name),
+            )
 
         with ThreadPoolExecutor(max_workers=self.jobs) as pool:
             while pending or running:

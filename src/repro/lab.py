@@ -27,6 +27,7 @@ from typing import Mapping, Sequence
 from repro.corpus.documents import Corpus, Document
 from repro.corpus.generator import CorpusBuilder, CorpusConfig
 from repro.engine import CORPUS, ArtifactStore, Engine, RetryPolicy, RunReport
+from repro.obs.recorder import RunObserver
 from repro.pipeline.filtering import FilteringPipeline, PipelineConfig
 from repro.pipeline.results import PipelineResult
 from repro.pipeline.vectorized import VectorizedCorpus
@@ -120,6 +121,7 @@ def run_study(
     force: bool = False,
     retries: int = 0,
     retry_backoff: float = 0.0,
+    trace_dir: str | None = None,
 ) -> Study:
     """Build the corpus and run both pipelines end to end.
 
@@ -130,14 +132,24 @@ def run_study(
     transparently (``STATUS_RECOVERED`` in the run report); ``retries``
     additionally re-executes transiently failing stages up to that many
     extra times, backing off ``retry_backoff * 2**n`` seconds between
-    attempts.
+    attempts.  ``trace_dir`` opts into observability: the engine's
+    logical-clock stage trace plus the stage-status metrics are saved
+    there in ``repro obs`` format (deterministic — no wall-clock values
+    enter the artifacts).
     """
     config = config or StudyConfig()
     store = ArtifactStore(cache_dir) if cache_dir is not None else None
     retry = RetryPolicy(max_attempts=retries + 1, backoff_base=retry_backoff)
-    engine = Engine(store=store, jobs=jobs, force=force, retry=retry)
+    recorder = RunObserver("study") if trace_dir is not None else None
+    engine = Engine(
+        store=store, jobs=jobs, force=force, retry=retry,
+        tracer=recorder.tracer if recorder is not None else None,
+    )
     targets = build_study_graph(engine, config)
     outcome = engine.run(list(targets.values()))
+    if recorder is not None:
+        outcome.report.populate_metrics(recorder.metrics)
+        recorder.save(trace_dir)
     return Study(
         config=config,
         corpus=outcome.values[targets["corpus"]],

@@ -1,0 +1,170 @@
+"""Trace and metrics exporters: JSONL, Chrome trace-event, text dashboard.
+
+Every exporter is a pure function of the tracer/registry contents and
+serializes with sorted keys, so the emitted bytes are identical across
+runs and machines for identical recordings — which is what lets CI
+``cmp`` two fresh trace dirs and lets ``repro obs diff`` attribute any
+difference to a real behaviour change rather than serialization noise.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.metrics import COUNTER, GAUGE, MetricsRegistry
+from repro.obs.trace import Span, Tracer, coerce_label_value, record_as_dict
+from repro.util.tables import format_table
+
+#: Chrome trace-event format (the JSON Array/Object format Perfetto and
+#: ``chrome://tracing`` load): "X" = complete span, "i" = instant event.
+CHROME_PHASE_SPAN = "X"
+CHROME_PHASE_INSTANT = "i"
+
+
+def trace_jsonl(tracer: Tracer) -> str:
+    """One canonical JSON object per line, in sequence order."""
+    lines = [
+        json.dumps(record_as_dict(record), sort_keys=True)
+        for record in tracer.records()
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _chrome_tid(record) -> int:
+    """Lane assignment: per-shard lanes, lane 0 for everything else."""
+    shard = record.labels.get("shard")
+    if shard is None:
+        return 0
+    try:
+        return int(str(shard)) + 1
+    except ValueError:
+        return 0
+
+
+def chrome_trace(tracer: Tracer) -> dict[str, object]:
+    """The trace as a Chrome trace-event JSON object.
+
+    Span/event timestamps are simulated seconds scaled to microseconds
+    (the unit the format requires); ``pid`` is always 0 (one simulated
+    process), ``tid`` lanes split per shard so Perfetto draws the fleet
+    the way the runtime shards it.
+    """
+    events: list[dict[str, object]] = []
+    lanes: dict[int, str] = {}
+    for record in tracer.records():
+        args = {
+            name: coerce_label_value(record.labels[name])
+            for name in sorted(record.labels)
+        }
+        args["seq"] = record.seq
+        tid = _chrome_tid(record)
+        if tid not in lanes:
+            lanes[tid] = "main" if tid == 0 else f"shard {tid - 1}"
+        if isinstance(record, Span):
+            if not record.closed:
+                raise ValueError(
+                    f"span {record.name!r} (id {record.span_id}) "
+                    "was never closed"
+                )
+            events.append({
+                "name": record.name,
+                "cat": "repro",
+                "ph": CHROME_PHASE_SPAN,
+                "ts": record.start * 1e6,
+                "dur": (record.end - record.start) * 1e6,
+                "pid": 0,
+                "tid": tid,
+                "args": args,
+            })
+        else:
+            events.append({
+                "name": record.name,
+                "cat": "repro",
+                "ph": CHROME_PHASE_INSTANT,
+                "ts": record.ts * 1e6,
+                "s": "t",
+                "pid": 0,
+                "tid": tid,
+                "args": args,
+            })
+    metadata = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": tid,
+            "args": {"name": lanes[tid]},
+        }
+        for tid in sorted(lanes)
+    ]
+    return {"displayTimeUnit": "ms", "traceEvents": metadata + events}
+
+
+def chrome_trace_json(tracer: Tracer) -> str:
+    return json.dumps(chrome_trace(tracer), sort_keys=True, indent=2) + "\n"
+
+
+def metrics_json(registry: MetricsRegistry) -> str:
+    return json.dumps(registry.as_dict(), sort_keys=True, indent=2) + "\n"
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:,.6g}"
+    return f"{value:,}"
+
+
+def render_dashboard(
+    registry: MetricsRegistry, tracer: Tracer | None = None
+) -> str:
+    """Deterministic text dashboard over one run's metrics (and trace).
+
+    Scalar metrics render as one row per labeled series; histograms as
+    count/mean/p50/p99 rows; the trace (when given) as a per-span-name
+    count/duration summary.  Everything is sorted, so the dashboard is
+    diffable the same way ``repro cache ls`` output is.
+    """
+    sections: list[str] = []
+    scalar_rows: list[tuple[str, str, str]] = []
+    histogram_rows: list[tuple[str, str, str, str, str, str]] = []
+    for family in registry.families():
+        for key, series in family.series():
+            label_text = ",".join(f"{k}={v}" for k, v in key) or "-"
+            if family.kind in (COUNTER, GAUGE):
+                scalar_rows.append((
+                    family.name, label_text, _format_value(series.snapshot())
+                ))
+            else:
+                snapshot = series.snapshot()
+                histogram_rows.append((
+                    family.name,
+                    label_text,
+                    _format_value(snapshot["count"]),
+                    f"{snapshot['mean_s'] * 1e3:.3f}",
+                    f"{snapshot['p50_s'] * 1e3:.3f}",
+                    f"{snapshot['p99_s'] * 1e3:.3f}",
+                ))
+    if scalar_rows:
+        sections.append(format_table(
+            ("metric", "labels", "value"), scalar_rows, title="Metrics"
+        ))
+    if histogram_rows:
+        sections.append(format_table(
+            ("histogram", "labels", "count", "mean ms", "p50 ms", "p99 ms"),
+            histogram_rows,
+            title="Histograms",
+        ))
+    if tracer is not None and len(tracer):
+        trace_rows = [
+            (name, _format_value(entry["count"]), f"{entry['total_s']:.6f}")
+            for name, entry in tracer.span_summary().items()
+        ]
+        trace_rows.append((
+            "(events)", _format_value(len(tracer.events())), "-"
+        ))
+        sections.append(format_table(
+            ("span", "count", "total s"), trace_rows, title="Trace"
+        ))
+    if not sections:
+        return "(empty run: no metrics or trace records)\n"
+    return "\n\n".join(sections) + "\n"

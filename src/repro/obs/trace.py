@@ -1,0 +1,243 @@
+"""Deterministic structured tracer: simulated-time spans and events.
+
+A :class:`Tracer` records the timeline of one run — batch spans in the
+serve runtime, stage spans in the batch engine, component sub-spans from
+the cost model — using only *simulated or logical* clocks and monotonic
+sequence ids.  Nothing here reads a wall clock, a uuid, or any other
+per-process value, so two runs of the same configuration emit
+byte-identical traces (the property the DET lints enforce and the CI
+byte-compare smoke asserts).
+
+Concurrency discipline: one tracer is single-writer.  Parallel
+components (shards under ``jobs=N``) each record into their *own*
+tracer, and the parent absorbs the children in a deterministic order
+(shard id) via :meth:`Tracer.absorb`, which re-numbers sequence and span
+ids — so the merged trace is independent of thread scheduling, the same
+way per-shard telemetry merges are.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class Span:
+    """One named interval on a simulated (or logical) clock."""
+
+    seq: int
+    span_id: int
+    parent_id: int | None
+    name: str
+    start: float | None = None
+    end: float | None = None
+    labels: dict[str, object] = dataclasses.field(default_factory=dict)
+
+    @property
+    def closed(self) -> bool:
+        return self.start is not None and self.end is not None
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One instantaneous occurrence (an alert raised, a message shed)."""
+
+    seq: int
+    span_id: int | None
+    name: str
+    ts: float
+    labels: dict[str, object] = dataclasses.field(default_factory=dict)
+
+
+class SpanContext:
+    """Handle for annotating, closing, and parenting under one span."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    @property
+    def span_id(self) -> int:
+        return self._span.span_id
+
+    def annotate(self, **labels: object) -> "SpanContext":
+        """Attach labels after the fact (e.g. a work ledger computed
+        during the span)."""
+        self._span.labels.update(labels)
+        return self
+
+    def close(self, start: float, end: float) -> "SpanContext":
+        """Set the span's simulated interval (idempotent by design:
+        callers that learn better bounds may close again)."""
+        if end < start:
+            raise ValueError(f"span cannot end before it starts ({end} < {start})")
+        self._span.start = start
+        self._span.end = end
+        return self
+
+    def child(
+        self,
+        name: str,
+        start: float | None = None,
+        end: float | None = None,
+        **labels: object,
+    ) -> "SpanContext":
+        return self._tracer.span(
+            name, start=start, end=end, parent=self, **labels
+        )
+
+    def event(self, name: str, ts: float, **labels: object) -> None:
+        self._tracer.event(name, ts, span=self, **labels)
+
+
+class Tracer:
+    """Single-writer trace recorder with monotonic sequence ids."""
+
+    def __init__(self) -> None:
+        self._records: list[Span | TraceEvent] = []
+        self._next_seq = 0
+        self._next_span_id = 1
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def span(
+        self,
+        name: str,
+        start: float | None = None,
+        end: float | None = None,
+        parent: SpanContext | None = None,
+        **labels: object,
+    ) -> SpanContext:
+        """Record a span; pass ``start``/``end`` now or ``close()`` later."""
+        span = Span(
+            seq=self._next_seq,
+            span_id=self._next_span_id,
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            labels=dict(labels),
+        )
+        self._next_seq += 1
+        self._next_span_id += 1
+        self._records.append(span)
+        context = SpanContext(self, span)
+        if start is not None and end is not None:
+            context.close(start, end)
+        return context
+
+    def event(
+        self,
+        name: str,
+        ts: float,
+        span: SpanContext | None = None,
+        **labels: object,
+    ) -> None:
+        self._records.append(TraceEvent(
+            seq=self._next_seq,
+            span_id=span.span_id if span is not None else None,
+            name=name,
+            ts=ts,
+            labels=dict(labels),
+        ))
+        self._next_seq += 1
+
+    def absorb(self, child: "Tracer") -> None:
+        """Append a child tracer's records, re-numbering ids.
+
+        Called once per child in a deterministic order (shard 0, 1, ...)
+        after parallel sections finish; the child must not be written to
+        afterwards.  Parent links within the child are remapped to the
+        new span ids; the child's record order (its own seq order) is
+        preserved.
+        """
+        id_map: dict[int, int] = {}
+        for record in child.records():
+            if isinstance(record, Span):
+                new_id = self._next_span_id
+                self._next_span_id += 1
+                id_map[record.span_id] = new_id
+                self._records.append(dataclasses.replace(
+                    record,
+                    seq=self._next_seq,
+                    span_id=new_id,
+                    parent_id=(
+                        id_map.get(record.parent_id)
+                        if record.parent_id is not None else None
+                    ),
+                    labels=dict(record.labels),
+                ))
+            else:
+                self._records.append(dataclasses.replace(
+                    record,
+                    seq=self._next_seq,
+                    span_id=(
+                        id_map.get(record.span_id)
+                        if record.span_id is not None else None
+                    ),
+                    labels=dict(record.labels),
+                ))
+            self._next_seq += 1
+
+    def records(self) -> tuple[Span | TraceEvent, ...]:
+        """All records in sequence order."""
+        return tuple(self._records)
+
+    def spans(self) -> tuple[Span, ...]:
+        return tuple(r for r in self._records if isinstance(r, Span))
+
+    def events(self) -> tuple[TraceEvent, ...]:
+        return tuple(r for r in self._records if isinstance(r, TraceEvent))
+
+    def open_spans(self) -> tuple[Span, ...]:
+        """Spans never closed — exporters refuse to serialize these."""
+        return tuple(s for s in self.spans() if not s.closed)
+
+    def span_summary(self) -> dict[str, dict[str, float | int]]:
+        """Per-span-name count and total simulated duration, name-sorted."""
+        totals: dict[str, dict[str, float | int]] = {}
+        for span in self.spans():
+            entry = totals.setdefault(span.name, {"count": 0, "total_s": 0.0})
+            entry["count"] += 1
+            if span.closed:
+                entry["total_s"] += span.end - span.start
+        return {name: totals[name] for name in sorted(totals)}
+
+
+def coerce_label_value(value: object) -> object:
+    """Normalize a label value to a JSON-stable scalar."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+def record_as_dict(record: Span | TraceEvent) -> dict[str, object]:
+    """Canonical JSON shape for one trace record."""
+    labels = {
+        name: coerce_label_value(record.labels[name])
+        for name in sorted(record.labels)
+    }
+    if isinstance(record, Span):
+        if not record.closed:
+            raise ValueError(
+                f"span {record.name!r} (id {record.span_id}) was never closed"
+            )
+        return {
+            "type": "span",
+            "seq": record.seq,
+            "span": record.span_id,
+            "parent": record.parent_id,
+            "name": record.name,
+            "start": record.start,
+            "end": record.end,
+            "labels": labels,
+        }
+    return {
+        "type": "event",
+        "seq": record.seq,
+        "span": record.span_id,
+        "name": record.name,
+        "ts": record.ts,
+        "labels": labels,
+    }

@@ -25,6 +25,7 @@ from repro.score.core import ScoreWork, ScoringCore
 from repro.util.batching import iter_batches
 
 if TYPE_CHECKING:  # the serve layer sits above the core; type-only import
+    from repro.obs.recorder import RunObserver
     from repro.serve.batching import ServiceCostModel
 
 
@@ -70,6 +71,36 @@ class ScoreBenchResult:
             "caches": self.cache_stats,
         }
 
+    def populate_metrics(self, registry) -> None:
+        """Project the bench run into an observability registry."""
+        self.work.populate_metrics(registry)
+        registry.counter(
+            "score_bench_batches", help="batches scored by the bench"
+        ).labels().inc(self.n_batches)
+        registry.counter(
+            "score_bench_detections", help="messages over either threshold"
+        ).labels().inc(self.detections)
+        busy = registry.counter(
+            "busy_seconds", help="simulated busy seconds per component"
+        )
+        for component, seconds in self.breakdown.items():
+            busy.labels(component=component.removesuffix("_seconds")).inc(
+                seconds
+            )
+        registry.gauge(
+            "score_bench_distinct_texts", help="distinct texts in the stream"
+        ).labels().set(self.distinct_texts)
+        registry.gauge(
+            "throughput_msgs_per_second",
+            help="simulated scoring throughput (the obs-diff gate metric)",
+        ).labels().set(self.messages_per_second)
+        for cache, stats in self.cache_stats.items():
+            family = registry.counter(
+                "score_cache_lookups", help="core cache hits/misses"
+            )
+            family.labels(cache=cache, outcome="hit").inc(int(stats["hits"]))
+            family.labels(cache=cache, outcome="miss").inc(int(stats["misses"]))
+
 
 def run_score_bench(
     core: ScoringCore,
@@ -77,6 +108,7 @@ def run_score_bench(
     batch_size: int = 64,
     cost: "ServiceCostModel | None" = None,
     threshold: float = 0.5,
+    recorder: "RunObserver | None" = None,
 ) -> ScoreBenchResult:
     """Score ``messages`` through ``core`` and measure the work done.
 
@@ -85,25 +117,28 @@ def run_score_bench(
     scored; the cost model converts the resulting work ledger into
     simulated seconds, broken down by component.  ``threshold`` only
     feeds the reported detection count — no monitor state is touched,
-    this is scoring alone.
+    this is scoring alone.  ``recorder`` opts into observability: one
+    span per batch on the simulated clock (with the core's work ledger
+    annotated), plus the labeled metrics snapshot.
     """
     if cost is None:
         # Runtime import: repro.serve imports the scoring core, so the
         # dependency must stay one-way at module-import time.
-        from repro.serve.batching import ServiceCostModel
+        from repro.serve.batching import CostBreakdown, ServiceCostModel
 
         cost = ServiceCostModel()
+    else:
+        from repro.serve.batching import CostBreakdown
     total = ScoreWork()
-    breakdown_totals = {
-        "tokenize_seconds": 0.0,
-        "score_seconds": 0.0,
-        "extract_seconds": 0.0,
-        "state_seconds": 0.0,
-    }
+    breakdown_totals = CostBreakdown.zero_totals()
     n_messages = 0
     n_batches = 0
     detections = 0
     simulated = 0.0
+    bench_span = (
+        recorder.tracer.span("score-bench", batch_size=batch_size)
+        if recorder is not None else None
+    )
     for batch in iter_batches(messages, batch_size):
         routed_work = ScoreWork()
         routed = []
@@ -111,13 +146,20 @@ def run_score_bench(
             before = core.extraction_cache.misses
             extraction = core.extract(message.text, work=routed_work)
             routed.append((extraction, core.extraction_cache.misses > before))
-        scored = core.score_messages(batch, routed=routed)
+        batch_span = (
+            bench_span.child("batch", batch=n_batches, messages=len(batch))
+            if bench_span is not None else None
+        )
+        scored = core.score_messages(batch, routed=routed, span=batch_span)
         # The router ledger already billed extraction; score_messages
         # re-billed it from the ``fresh`` flags, so keep only one copy.
         n_detections = int(
             ((scored.cth_scores > threshold) | (scored.dox_scores > threshold)).sum()
         )
         breakdown = cost.breakdown(scored.work, n_alerts=0)
+        if batch_span is not None:
+            batch_span.close(simulated, simulated + breakdown.total_seconds)
+            batch_span.annotate(detections=n_detections)
         simulated += breakdown.total_seconds
         for key, value in breakdown.as_dict().items():
             breakdown_totals[key] += value
@@ -125,7 +167,11 @@ def run_score_bench(
         n_messages += len(batch)
         n_batches += 1
         detections += n_detections
-    return ScoreBenchResult(
+    if bench_span is not None:
+        bench_span.close(0.0, simulated).annotate(
+            messages=n_messages, batches=n_batches
+        )
+    result = ScoreBenchResult(
         n_messages=n_messages,
         n_batches=n_batches,
         batch_size=batch_size,
@@ -136,6 +182,9 @@ def run_score_bench(
         breakdown=breakdown_totals,
         cache_stats=core.cache_stats(),
     )
+    if recorder is not None:
+        result.populate_metrics(recorder.metrics)
+    return result
 
 
 @dataclasses.dataclass(frozen=True)

@@ -144,6 +144,33 @@ class ScoreWork:
         """Field-name -> count snapshot, stable field order."""
         return dataclasses.asdict(self)
 
+    def populate_metrics(self, registry, **labels: object) -> None:
+        """Emit this ledger into an observability registry.
+
+        Work that ran vs. work a cache absorbed becomes one
+        ``score_work_messages`` counter family labeled
+        ``component={tokenize,extract,code}`` x ``cache={hit,miss}`` —
+        the cache-efficiency slice the autoscaler and dashboards read —
+        plus plain message/char throughput counters.
+        """
+        registry.counter(
+            "score_messages", help="messages through the scoring core"
+        ).labels(**labels).inc(self.messages)
+        registry.counter(
+            "score_chars", help="characters through the scoring core"
+        ).labels(**labels).inc(self.chars)
+        family = registry.counter(
+            "score_work_messages",
+            help="texts per component, split by cache hit/miss",
+        )
+        for component, ran, hits in (
+            ("tokenize", self.tokenized_messages, self.token_cache_hits),
+            ("extract", self.extracted_messages, self.extraction_cache_hits),
+            ("code", self.coded_messages, self.coding_cache_hits),
+        ):
+            family.labels(component=component, cache="miss", **labels).inc(ran)
+            family.labels(component=component, cache="hit", **labels).inc(hits)
+
 
 @dataclasses.dataclass
 class ScoredBatch:
@@ -266,6 +293,7 @@ class ScoringCore:
         self,
         messages: Sequence["StreamMessage"],
         routed: Sequence[tuple[Extraction, bool]] | None = None,
+        span=None,
     ) -> ScoredBatch:
         """Pure vectorized scoring of one batch.
 
@@ -274,6 +302,10 @@ class ScoringCore:
         work or a router-cache hit) — the serve path passes it so the
         shard never re-extracts; the batch path omits it and extractions
         happen lazily, per detection, through :meth:`ScoredBatch.extraction`.
+
+        ``span`` is an optional :class:`repro.obs.trace.SpanContext`
+        (e.g. the enclosing batch span): the work ledger is annotated
+        onto it so a trace viewer sees cache behaviour per batch.
         """
         texts = [m.text for m in messages]
         work = ScoreWork(messages=len(texts), chars=sum(len(t) for t in texts))
@@ -297,6 +329,14 @@ class ScoringCore:
                     work.extracted_chars += len(text)
                 else:
                     work.extraction_cache_hits += 1
+        if span is not None:
+            span.annotate(
+                messages=work.messages,
+                token_cache_hits=work.token_cache_hits,
+                tokenized=work.tokenized_messages,
+                extracted=work.extracted_messages,
+                extraction_cache_hits=work.extraction_cache_hits,
+            )
         return ScoredBatch(
             messages=messages,
             features=features,

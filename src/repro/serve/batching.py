@@ -22,6 +22,12 @@ from typing import Sequence
 from repro.score.core import ScoreWork
 from repro.serve.queueing import BoundedQueue
 
+#: Why a batch flushed, as recorded on its trace span.
+FLUSH_FULL = "full"  # batch_size messages were already queued
+FLUSH_ARRIVAL = "arrival"  # the batch-completing arrival came before the deadline
+FLUSH_DEADLINE = "deadline"  # the head message's latency bound fired
+FLUSH_DRAIN = "drain"  # shutdown drain (producer closed)
+
 
 @dataclasses.dataclass(frozen=True)
 class MicroBatcher:
@@ -41,14 +47,22 @@ class MicroBatcher:
     def flush_time(
         self, queue: BoundedQueue, upcoming_arrivals: Sequence[float]
     ) -> float:
-        """Earliest simulated time the current head batch may flush.
+        """Earliest simulated time the current head batch may flush."""
+        return self.flush_decision(queue, upcoming_arrivals)[0]
+
+    def flush_decision(
+        self, queue: BoundedQueue, upcoming_arrivals: Sequence[float]
+    ) -> tuple[float, str]:
+        """``(flush time, reason)`` for the current head batch.
 
         ``upcoming_arrivals`` are the times of the next not-yet-enqueued
         arrivals in order (only the first ``batch_size`` matter).  The
         flush fires at whichever comes first: the arrival that would
-        complete a full batch, or the head message's latency deadline.
-        A deadline alone caps the flush when too few arrivals remain —
-        that is the drain path for a tail shorter than a batch.
+        complete a full batch (``FLUSH_ARRIVAL``), or the head message's
+        latency deadline (``FLUSH_DEADLINE``).  A deadline alone caps
+        the flush when too few arrivals remain — that is the drain path
+        for a tail shorter than a batch.  The reason feeds the batch's
+        trace span so overload triage can see *why* latency moved.
         """
         if not len(queue):
             raise ValueError("flush_time is undefined for an empty queue")
@@ -57,10 +71,10 @@ class MicroBatcher:
         if need <= 0:
             # Already full: constrained only by when the youngest message
             # that will ride in this batch actually arrived.
-            return queue.enqueue_time_at(self.batch_size - 1)
-        if need <= len(upcoming_arrivals):
-            return min(deadline, upcoming_arrivals[need - 1])
-        return deadline
+            return queue.enqueue_time_at(self.batch_size - 1), FLUSH_FULL
+        if need <= len(upcoming_arrivals) and upcoming_arrivals[need - 1] < deadline:
+            return upcoming_arrivals[need - 1], FLUSH_ARRIVAL
+        return deadline, FLUSH_DEADLINE
 
 
 @dataclasses.dataclass(frozen=True)
@@ -90,6 +104,32 @@ class CostBreakdown:
 
     def as_dict(self) -> dict[str, float]:
         return dataclasses.asdict(self)
+
+    @staticmethod
+    def zero_totals() -> dict[str, float]:
+        """A zeroed component-accumulator dict in field order.
+
+        The one definition every busy-seconds accumulator starts from
+        (shard telemetry, fleet merge, score bench) — adding a
+        component here propagates everywhere.
+        """
+        return dict.fromkeys(BREAKDOWN_COMPONENTS, 0.0)
+
+    def populate_metrics(self, registry, **labels: object) -> None:
+        """Emit per-component busy seconds into a registry."""
+        family = registry.counter(
+            "busy_seconds", help="simulated busy seconds per component"
+        )
+        for component, seconds in self.as_dict().items():
+            family.labels(
+                component=component.removesuffix("_seconds"), **labels
+            ).inc(seconds)
+
+
+#: Component field names of :class:`CostBreakdown`, in declaration order.
+BREAKDOWN_COMPONENTS: tuple[str, ...] = tuple(
+    field.name for field in dataclasses.fields(CostBreakdown)
+)
 
 
 @dataclasses.dataclass(frozen=True)

@@ -19,7 +19,7 @@ from __future__ import annotations
 import collections
 import dataclasses
 import enum
-from typing import Deque
+from typing import Deque, Iterable
 
 from repro.service.stream import StreamMessage
 
@@ -54,10 +54,52 @@ class QueueAccounting:
         """
         return self.offered - self.taken - self.shed - self.dropped
 
+    def merge(self, other: "QueueAccounting") -> "QueueAccounting":
+        """Fleet-wise combination (neither operand is mutated).
+
+        Message counts sum; ``max_depth`` takes the worst shard — a sum
+        of per-shard depth high-water marks would describe a backlog
+        that never existed anywhere.
+        """
+        return QueueAccounting(
+            offered=self.offered + other.offered,
+            admitted=self.admitted + other.admitted,
+            shed=self.shed + other.shed,
+            dropped=self.dropped + other.dropped,
+            taken=self.taken + other.taken,
+            max_depth=max(self.max_depth, other.max_depth),
+        )
+
+    @classmethod
+    def merged(cls, accountings: Iterable["QueueAccounting"]) -> "QueueAccounting":
+        """Aggregate per-shard ledgers into one fleet view."""
+        total = cls()
+        for accounting in accountings:
+            total = total.merge(accounting)
+        return total
+
     def as_dict(self) -> dict[str, int]:
         data = dataclasses.asdict(self)
         data["unaccounted"] = self.unaccounted
         return data
+
+    def populate_metrics(self, registry, **labels: object) -> None:
+        """Emit this ledger into an observability registry.
+
+        One ``queue_messages`` counter per outcome bucket plus the
+        depth high-water gauge, all carrying ``labels`` (the caller
+        adds ``shard=...``).
+        """
+        outcomes = registry.counter(
+            "queue_messages", help="messages per queue-accounting outcome"
+        )
+        for outcome in ("offered", "admitted", "shed", "dropped", "taken"):
+            outcomes.labels(outcome=outcome, **labels).inc(
+                getattr(self, outcome)
+            )
+        registry.gauge(
+            "queue_max_depth", help="deepest backlog the queue reached"
+        ).labels(**labels).set(self.max_depth)
 
 
 @dataclasses.dataclass(frozen=True, slots=True)

@@ -32,10 +32,12 @@ import dataclasses
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence
 
+from repro.obs.recorder import RunObserver
+from repro.obs.trace import Tracer
 from repro.score.core import Extraction, ScoreWork, extract_targets
 from repro.service.monitor import Alert, HarassmentMonitor, target_handles
 from repro.service.stream import StreamMessage
-from repro.serve.batching import MicroBatcher, ServiceCostModel
+from repro.serve.batching import FLUSH_DRAIN, MicroBatcher, ServiceCostModel
 from repro.serve.loadgen import Arrival, LoadProfile, generate_arrivals
 from repro.serve.queueing import BackpressurePolicy, BoundedQueue, QueuedMessage
 from repro.serve.telemetry import ServeTelemetry, ShardTelemetry
@@ -147,6 +149,19 @@ class ServeResult:
             "telemetry": self.telemetry.as_dict(),
         }
 
+    def populate_metrics(self, registry) -> None:
+        """Project the run into an observability registry.
+
+        Per-shard ledgers plus fleet gauges come from the telemetry;
+        this adds the merged alert stream as a kind-labeled counter.
+        """
+        self.telemetry.populate_metrics(registry)
+        family = registry.counter(
+            "serve_alerts", help="merged alerts by kind"
+        )
+        for kind, count in self.alert_counts().items():
+            family.labels(kind=kind).inc(count)
+
 
 class ServingRuntime:
     """Drives ``n_shards`` monitor-owning shard servers over arrivals."""
@@ -166,12 +181,21 @@ class ServingRuntime:
         shard_id: int,
         arrivals: Sequence[Arrival],
         extractions: dict[int, tuple[Extraction, bool]] | None = None,
-    ) -> tuple[list[Alert], ShardTelemetry]:
+        traced: bool = False,
+    ) -> tuple[list[Alert], ShardTelemetry, Tracer | None]:
         config = self.config
         monitor = self._monitor_factory()
         queue = BoundedQueue(config.queue_capacity, config.policy)
         batcher = MicroBatcher(config.batch_size, config.max_delay_seconds)
         telemetry = ShardTelemetry(shard_id=shard_id, queue=queue.accounting)
+        # Each shard records into its own tracer (single writer) so the
+        # trace is independent of thread scheduling under jobs=N; the
+        # caller absorbs the tracers in shard order.
+        tracer = Tracer() if traced else None
+        shard_span = (
+            tracer.span("shard", shard=shard_id, arrivals=len(arrivals))
+            if tracer is not None else None
+        )
         alerts: list[Alert] = []
         server_free = 0.0
         index, total = 0, len(arrivals)
@@ -179,12 +203,38 @@ class ServingRuntime:
         # may not — those fall back to process_batch billed as all-miss.
         core = getattr(monitor, "core", None)
 
-        def score(batch: Sequence[QueuedMessage], start: float) -> float:
+        def offer(arrival: Arrival) -> None:
+            """Enqueue one arrival, tracing a shed/drop if it causes one."""
+            acct = queue.accounting
+            shed_before, dropped_before = acct.shed, acct.dropped
+            queue.offer(arrival.time, arrival.message)
+            if tracer is None:
+                return
+            if acct.shed > shed_before:
+                shard_span.event("shed", arrival.time, shard=shard_id)
+            elif acct.dropped > dropped_before:
+                shard_span.event("dropped", arrival.time, shard=shard_id)
+
+        def score(
+            batch: Sequence[QueuedMessage], start: float, flush_reason: str
+        ) -> float:
             """Process one batch at simulated ``start``; returns its end."""
             messages = [q.message for q in batch]
+            batch_span = (
+                shard_span.child(
+                    "batch",
+                    shard=shard_id,
+                    batch=telemetry.batches,
+                    messages=len(messages),
+                    flush=flush_reason,
+                )
+                if tracer is not None else None
+            )
             if core is not None and extractions is not None:
                 routed = [extractions[m.message_id] for m in messages]
-                scored = core.score_messages(messages, routed=routed)
+                scored = core.score_messages(
+                    messages, routed=routed, span=batch_span
+                )
                 raised = monitor.process_scored(scored)
                 # process_scored may lazily code/extract; bill afterwards
                 # so the breakdown sees the full ledger.
@@ -203,6 +253,27 @@ class ServingRuntime:
                 breakdown=breakdown,
                 work=work,
             )
+            if batch_span is not None:
+                batch_span.close(start, end).annotate(alerts=len(raised))
+                # Component sub-spans laid end to end inside the batch:
+                # the Chrome/Perfetto view shows where batch time goes.
+                offset = start
+                for component, seconds in breakdown.as_dict().items():
+                    if seconds > 0:
+                        batch_span.child(
+                            component.removesuffix("_seconds"),
+                            start=offset,
+                            end=offset + seconds,
+                            shard=shard_id,
+                        )
+                        offset += seconds
+                for alert in raised:
+                    batch_span.event(
+                        "alert",
+                        alert.timestamp,
+                        shard=shard_id,
+                        kind=alert.kind.value,
+                    )
             return end
 
         while index < total or len(queue):
@@ -211,32 +282,49 @@ class ServingRuntime:
                 # batch-size chunks instead of waiting out the deadline.
                 for chunk in iter_batches(queue.drain(), config.batch_size):
                     start = max(server_free, chunk[-1].enqueue_time)
-                    server_free = score(chunk, start)
+                    server_free = score(chunk, start, FLUSH_DRAIN)
                 break
             if not len(queue):
                 arrival = arrivals[index]
                 index += 1
-                queue.offer(arrival.time, arrival.message)
+                offer(arrival)
                 continue
             upcoming = [
                 a.time for a in arrivals[index : index + config.batch_size]
             ]
-            flush_at = batcher.flush_time(queue, upcoming)
+            flush_at, flush_reason = batcher.flush_decision(queue, upcoming)
             start = max(flush_at, server_free)
             # Everything arriving before the batch starts enters the queue
             # first (and may be shed/dropped under overload).
             while index < total and arrivals[index].time <= start:
                 arrival = arrivals[index]
                 index += 1
-                queue.offer(arrival.time, arrival.message)
-            server_free = score(queue.take(config.batch_size), start)
+                offer(arrival)
+            server_free = score(queue.take(config.batch_size), start, flush_reason)
         telemetry.monitor = monitor.stats
-        return alerts, telemetry
+        if shard_span is not None:
+            first = arrivals[0].time if arrivals else 0.0
+            shard_span.close(first, max(server_free, first)).annotate(
+                batches=telemetry.batches
+            )
+        return alerts, telemetry, tracer
 
     # -- public ------------------------------------------------------------
 
-    def run(self, arrivals: Iterable[Arrival], jobs: int = 1) -> ServeResult:
-        """Route and serve ``arrivals``; returns merged, sorted output."""
+    def run(
+        self,
+        arrivals: Iterable[Arrival],
+        jobs: int = 1,
+        recorder: RunObserver | None = None,
+    ) -> ServeResult:
+        """Route and serve ``arrivals``; returns merged, sorted output.
+
+        ``recorder`` opts into observability: the router records a
+        routing span, each shard records batch/component spans and
+        alert/shed events into its own tracer (absorbed in shard order,
+        so the merged trace is independent of ``jobs``), and the fleet
+        telemetry populates the labeled metrics registry.
+        """
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         n_shards = self.config.n_shards
@@ -252,6 +340,7 @@ class ServingRuntime:
         router_cache: LRUCache[str, Extraction] = LRUCache(
             self.config.extraction_cache_size
         )
+        first_arrival = last_arrival = None
         for arrival in arrivals:
             message = arrival.message
             extraction, hit = router_cache.get_or_compute(
@@ -263,9 +352,27 @@ class ServingRuntime:
             )
             per_shard[shard].append(arrival)
             shard_extractions[shard][message.message_id] = (extraction, not hit)
+            if first_arrival is None:
+                first_arrival = arrival.time
+            last_arrival = arrival.time
+        if recorder is not None:
+            recorder.tracer.span(
+                "route",
+                start=first_arrival or 0.0,
+                end=last_arrival or 0.0,
+                messages=sum(len(a) for a in per_shard),
+                extraction_cache_hits=router_cache.hits,
+                extraction_cache_misses=router_cache.misses,
+            )
+            routed = recorder.metrics.counter(
+                "routed_messages", help="messages routed per shard"
+            )
+            for shard_id, shard_arrivals in enumerate(per_shard):
+                routed.labels(shard=str(shard_id)).inc(len(shard_arrivals))
+        traced = recorder is not None
         if jobs == 1 or n_shards == 1:
             outcomes = [
-                self._run_shard(shard_id, shard_arrivals, extractions)
+                self._run_shard(shard_id, shard_arrivals, extractions, traced)
                 for shard_id, (shard_arrivals, extractions) in enumerate(
                     zip(per_shard, shard_extractions)
                 )
@@ -278,22 +385,36 @@ class ServingRuntime:
                         range(n_shards),
                         per_shard,
                         shard_extractions,
+                        [traced] * n_shards,
                     )
                 )
         merged: list[Alert] = []
-        for shard_alerts, _ in outcomes:
+        for shard_alerts, _, _ in outcomes:
             merged.extend(shard_alerts)
         merged.sort(key=alert_sort_key)
-        telemetry = ServeTelemetry(shards=[t for _, t in outcomes])
-        return ServeResult(alerts=merged, telemetry=telemetry, config=self.config)
+        telemetry = ServeTelemetry(shards=[t for _, t, _ in outcomes])
+        result = ServeResult(
+            alerts=merged, telemetry=telemetry, config=self.config
+        )
+        if recorder is not None:
+            # Deterministic absorb order = shard id order, regardless of
+            # which thread finished first.
+            for _, _, shard_tracer in outcomes:
+                if shard_tracer is not None:
+                    recorder.tracer.absorb(shard_tracer)
+            result.populate_metrics(recorder.metrics)
+        return result
 
     def serve_stream(
         self,
         messages: Iterable[StreamMessage],
         profile: LoadProfile | None = None,
         jobs: int = 1,
+        recorder: RunObserver | None = None,
     ) -> ServeResult:
         """Generate arrivals for ``messages`` and serve them."""
         return self.run(
-            generate_arrivals(messages, profile or LoadProfile()), jobs=jobs
+            generate_arrivals(messages, profile or LoadProfile()),
+            jobs=jobs,
+            recorder=recorder,
         )

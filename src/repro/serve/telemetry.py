@@ -8,94 +8,36 @@ report is diffable across machines, like ``repro cache ls``).
 Aggregation follows the ``MonitorStats`` idiom: every dataclass knows
 how to ``merge()`` with a peer and render itself ``as_dict()``, so the
 fleet-wide view is a fold over shards without reaching into fields.
+
+The histogram type itself lives in :mod:`repro.obs.metrics` (it is the
+registry's histogram series too) and is re-exported here for
+compatibility; ``populate_metrics`` projects every per-shard ledger
+into the unified labeled registry ``repro obs`` reads, while
+``as_dict()`` keeps the committed ``BENCH_serve.json`` schema stable.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, Sequence
+from typing import Sequence
 
+from repro.obs.metrics import (
+    BUCKET_BOUNDS,
+    LatencyHistogram,
+    MetricsRegistry,
+    merge_histograms,
+)
 from repro.score.core import ScoreWork
 from repro.service.monitor import MonitorStats
 from repro.serve.batching import CostBreakdown
 from repro.serve.queueing import QueueAccounting
 
-#: Histogram bucket upper bounds in seconds: four per decade from 10 µs
-#: to 1000 s, then a catch-all.  Fixed bounds (rather than data-derived
-#: ones) keep shard histograms mergeable by plain element-wise addition.
-_DECADES = range(-5, 3)
-_STEPS = (1.0, 1.78, 3.16, 5.62)
-BUCKET_BOUNDS: tuple[float, ...] = tuple(
-    step * (10.0 ** decade) for decade in _DECADES for step in _STEPS
-) + (float("inf"),)
-
-
-class LatencyHistogram:
-    """Fixed-bound histogram over seconds with deterministic quantiles."""
-
-    __slots__ = ("counts", "count", "total", "min", "max")
-
-    def __init__(self) -> None:
-        self.counts = [0] * len(BUCKET_BOUNDS)
-        self.count = 0
-        self.total = 0.0
-        self.min = float("inf")
-        self.max = 0.0
-
-    def record(self, seconds: float) -> None:
-        if seconds < 0:
-            raise ValueError(f"latency cannot be negative, got {seconds}")
-        for i, bound in enumerate(BUCKET_BOUNDS):
-            if seconds <= bound:
-                self.counts[i] += 1
-                break
-        self.count += 1
-        self.total += seconds
-        self.min = min(self.min, seconds)
-        self.max = max(self.max, seconds)
-
-    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
-        merged = LatencyHistogram()
-        merged.counts = [a + b for a, b in zip(self.counts, other.counts)]
-        merged.count = self.count + other.count
-        merged.total = self.total + other.total
-        merged.min = min(self.min, other.min)
-        merged.max = max(self.max, other.max)
-        return merged
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-    def quantile(self, q: float) -> float:
-        """Upper bound of the bucket holding the ``q``-quantile.
-
-        Deterministic and mergeable at the cost of bucket resolution
-        (~1.78x); the extremes are clamped to the observed min/max so
-        p50 of a single sample is that sample.
-        """
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile must be in [0, 1], got {q}")
-        if not self.count:
-            return 0.0
-        rank = q * self.count
-        cumulative = 0
-        for i, bucket_count in enumerate(self.counts):
-            cumulative += bucket_count
-            if cumulative >= rank and bucket_count:
-                return max(self.min, min(self.max, BUCKET_BOUNDS[i]))
-        return self.max
-
-    def as_dict(self) -> dict[str, float | int]:
-        return {
-            "count": self.count,
-            "mean_s": self.mean,
-            "min_s": self.min if self.count else 0.0,
-            "max_s": self.max,
-            "p50_s": self.quantile(0.50),
-            "p95_s": self.quantile(0.95),
-            "p99_s": self.quantile(0.99),
-        }
+__all__ = [
+    "BUCKET_BOUNDS",
+    "LatencyHistogram",
+    "ServeTelemetry",
+    "ShardTelemetry",
+]
 
 
 @dataclasses.dataclass
@@ -113,12 +55,7 @@ class ShardTelemetry:
     #: extract / state); only populated when the runtime passes a
     #: :class:`~repro.serve.batching.CostBreakdown` per batch.
     busy_breakdown: dict[str, float] = dataclasses.field(
-        default_factory=lambda: {
-            "tokenize_seconds": 0.0,
-            "score_seconds": 0.0,
-            "extract_seconds": 0.0,
-            "state_seconds": 0.0,
-        }
+        default_factory=CostBreakdown.zero_totals
     )
     #: accumulated scoring-work ledger across this shard's batches
     score_work: ScoreWork = dataclasses.field(default_factory=ScoreWork)
@@ -170,6 +107,35 @@ class ShardTelemetry:
             "queue_wait": self.queue_wait.as_dict(),
         }
 
+    def populate_metrics(self, registry: MetricsRegistry) -> None:
+        """Project this shard's ledgers into the labeled registry."""
+        labels = {"shard": str(self.shard_id)}
+        self.queue.populate_metrics(registry, **labels)
+        self.monitor.populate_metrics(registry, **labels)
+        self.score_work.populate_metrics(registry, **labels)
+        registry.counter(
+            "serve_batches", help="micro-batches scored"
+        ).labels(**labels).inc(self.batches)
+        registry.counter(
+            "serve_messages_scored", help="messages scored"
+        ).labels(**labels).inc(self.messages_scored)
+        registry.counter(
+            "serve_alerts_raised", help="alerts raised"
+        ).labels(**labels).inc(self.alerts_raised)
+        busy = registry.counter(
+            "busy_seconds", help="simulated busy seconds per component"
+        )
+        for component, seconds in self.busy_breakdown.items():
+            busy.labels(
+                component=component.removesuffix("_seconds"), **labels
+            ).inc(seconds)
+        registry.histogram(
+            "service_time_seconds", help="per-batch simulated service time"
+        ).labels(**labels).merge_from(self.service_time)
+        registry.histogram(
+            "queue_wait_seconds", help="per-message simulated queue wait"
+        ).labels(**labels).merge_from(self.queue_wait)
+
 
 @dataclasses.dataclass
 class ServeTelemetry:
@@ -177,39 +143,22 @@ class ServeTelemetry:
 
     shards: list[ShardTelemetry]
 
-    def _merged_accounting(self) -> QueueAccounting:
-        total = QueueAccounting()
-        for shard in self.shards:
-            for field in dataclasses.fields(QueueAccounting):
-                setattr(
-                    total,
-                    field.name,
-                    getattr(total, field.name)
-                    + getattr(shard.queue, field.name),
-                )
-        # max_depth sums are meaningless; report the worst shard instead.
-        total.max_depth = max(
-            (s.queue.max_depth for s in self.shards), default=0
-        )
-        return total
+    def merged_accounting(self) -> QueueAccounting:
+        """Fleet queue ledger (counts sum, ``max_depth`` = worst shard)."""
+        return QueueAccounting.merged(s.queue for s in self.shards)
 
     def merged_service_time(self) -> LatencyHistogram:
-        return _merge_histograms(s.service_time for s in self.shards)
+        return merge_histograms(s.service_time for s in self.shards)
 
     def merged_queue_wait(self) -> LatencyHistogram:
-        return _merge_histograms(s.queue_wait for s in self.shards)
+        return merge_histograms(s.queue_wait for s in self.shards)
 
     def merged_monitor_stats(self) -> MonitorStats:
         return MonitorStats.merged(s.monitor for s in self.shards)
 
     def merged_busy_breakdown(self) -> dict[str, float]:
         """Fleet busy seconds per scoring-path component."""
-        totals = {
-            "tokenize_seconds": 0.0,
-            "score_seconds": 0.0,
-            "extract_seconds": 0.0,
-            "state_seconds": 0.0,
-        }
+        totals = CostBreakdown.zero_totals()
         for shard in self.shards:
             for key, value in shard.busy_breakdown.items():
                 totals[key] += value
@@ -248,7 +197,7 @@ class ServeTelemetry:
             "messages_scored": self.messages_scored,
             "makespan_seconds": self.makespan_seconds,
             "throughput_per_second": self.throughput_per_second,
-            "queue": self._merged_accounting().as_dict(),
+            "queue": self.merged_accounting().as_dict(),
             "monitor": self.merged_monitor_stats().as_dict(),
             "busy_breakdown": self.merged_busy_breakdown(),
             "score_work": self.merged_score_work().as_dict(),
@@ -257,11 +206,24 @@ class ServeTelemetry:
             "per_shard": [s.as_dict() for s in self.shards],
         }
 
+    def populate_metrics(self, registry: MetricsRegistry) -> None:
+        """Project per-shard ledgers plus fleet headline gauges.
 
-def _merge_histograms(
-    histograms: Iterable[LatencyHistogram],
-) -> LatencyHistogram:
-    merged = LatencyHistogram()
-    for histogram in histograms:
-        merged = merged.merge(histogram)
-    return merged
+        The fleet view stays a *fold* over shard-labeled series (the
+        registry reader can sum them); only the ratios that cannot be
+        recovered from sums — throughput and makespan — get their own
+        unlabeled gauges.  ``throughput_msgs_per_second`` is the gauge
+        ``repro obs diff`` gates on.
+        """
+        for shard in self.shards:
+            shard.populate_metrics(registry)
+        registry.gauge(
+            "serve_shards", help="worker shard count"
+        ).labels().set(len(self.shards))
+        registry.gauge(
+            "makespan_seconds", help="first batch start to last batch end"
+        ).labels().set(self.makespan_seconds)
+        registry.gauge(
+            "throughput_msgs_per_second",
+            help="fleet simulated throughput (the obs-diff gate metric)",
+        ).labels().set(self.throughput_per_second)

@@ -117,6 +117,19 @@ class MonitorStats:
             total = total.merge(item)
         return total
 
+    def populate_metrics(self, registry, **labels: object) -> None:
+        """Emit the counters into an observability registry.
+
+        One ``monitor_events`` counter family, labeled by event kind
+        (plus whatever the caller adds, e.g. ``shard=...``) — the
+        labeled-metrics shape the obs layer standardizes on.
+        """
+        family = registry.counter(
+            "monitor_events", help="monitor detections/alerts by kind"
+        )
+        for event, count in self.as_dict().items():
+            family.labels(event=event, **labels).inc(count)
+
 
 class HarassmentMonitor:
     """Stateful online detector over a message stream.

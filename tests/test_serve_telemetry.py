@@ -245,3 +245,109 @@ def test_empty_fleet_telemetry():
     assert fleet.makespan_seconds == 0.0
     assert fleet.throughput_per_second == 0.0
     json.dumps(fleet.as_dict())
+
+
+# -- queue-accounting merge (MonitorStats idiom) -------------------------------
+
+def _acct(**kwargs):
+    from repro.serve.queueing import QueueAccounting
+
+    return QueueAccounting(**kwargs)
+
+
+def test_queue_accounting_merge_sums_counts_and_maxes_depth():
+    a = _acct(offered=5, admitted=4, shed=1, taken=4, max_depth=7)
+    b = _acct(offered=3, admitted=3, dropped=1, taken=2, max_depth=4)
+    merged = a.merge(b)
+    assert merged.offered == 8
+    assert merged.admitted == 7
+    assert merged.shed == 1 and merged.dropped == 1
+    assert merged.taken == 6
+    assert merged.max_depth == 7  # worst shard, never a sum
+    # Neither operand mutated.
+    assert a.offered == 5 and b.offered == 3
+
+
+def test_queue_accounting_merge_identity_and_fold():
+    from repro.serve.queueing import QueueAccounting
+
+    a = _acct(offered=5, admitted=5, taken=5, max_depth=2)
+    assert a.merge(QueueAccounting()).as_dict() == a.as_dict()
+    shards = [
+        _acct(offered=2, admitted=2, taken=2, max_depth=1),
+        _acct(offered=4, admitted=3, shed=1, taken=3, max_depth=9),
+        _acct(offered=1, admitted=1, taken=1, max_depth=3),
+    ]
+    fleet = QueueAccounting.merged(shards)
+    assert fleet.offered == 7
+    assert fleet.max_depth == 9
+    assert fleet.unaccounted == 0
+    assert QueueAccounting.merged([]).as_dict() == QueueAccounting().as_dict()
+
+
+def test_queue_accounting_populates_registry():
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    _acct(offered=4, admitted=3, shed=1, taken=3, max_depth=6).populate_metrics(
+        registry, shard="2"
+    )
+    snapshot = registry.as_dict()
+    outcomes = {
+        s["labels"]["outcome"]: s["value"]
+        for s in snapshot["queue_messages"]["series"]
+    }
+    assert outcomes == {
+        "offered": 4, "admitted": 3, "shed": 1, "dropped": 0, "taken": 3
+    }
+    assert all(
+        s["labels"]["shard"] == "2"
+        for s in snapshot["queue_messages"]["series"]
+    )
+    assert snapshot["queue_max_depth"]["series"][0]["value"] == 6
+
+
+# -- flush reasons -------------------------------------------------------------
+
+def test_flush_decision_reports_reason():
+    from repro.serve.batching import (
+        FLUSH_ARRIVAL,
+        FLUSH_DEADLINE,
+        FLUSH_FULL,
+        MicroBatcher,
+    )
+
+    batcher = MicroBatcher(batch_size=3, max_delay_seconds=10.0)
+    assert batcher.flush_decision(_queue_with([0.0, 1.0, 2.0]), []) == (
+        2.0, FLUSH_FULL
+    )
+    assert batcher.flush_decision(_queue_with([0.0, 0.1]), [0.4, 99.0]) == (
+        0.4, FLUSH_ARRIVAL
+    )
+    time, reason = batcher.flush_decision(_queue_with([0.0, 0.1]), [20.0])
+    assert (time, reason) == (10.0, FLUSH_DEADLINE)
+    # An arrival landing exactly on the deadline is billed as a deadline
+    # flush (same instant either way, matching the old min() behaviour).
+    assert batcher.flush_decision(_queue_with([0.0]), [10.0]) == (
+        10.0, FLUSH_DEADLINE
+    )
+
+
+def test_cost_breakdown_zero_totals_and_registry():
+    from repro.obs import MetricsRegistry
+    from repro.serve.batching import BREAKDOWN_COMPONENTS, CostBreakdown
+
+    totals = CostBreakdown.zero_totals()
+    assert tuple(totals) == BREAKDOWN_COMPONENTS
+    assert set(totals.values()) == {0.0}
+    registry = MetricsRegistry()
+    CostBreakdown(
+        tokenize_seconds=0.1, score_seconds=0.2
+    ).populate_metrics(registry, shard="0")
+    components = {
+        s["labels"]["component"]: s["value"]
+        for s in registry.as_dict()["busy_seconds"]["series"]
+    }
+    assert components == {
+        "tokenize": 0.1, "score": 0.2, "extract": 0.0, "state": 0.0
+    }
