@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint lint-repro bench bench-tiny study cache-clean verify-cache test-recovery test-serve serve-bench score-bench test-obs obs-smoke experiments examples clean
+.PHONY: install test lint lint-repro lint-contracts bench bench-tiny study cache-clean verify-cache test-recovery test-serve serve-bench score-bench test-obs obs-smoke experiments examples clean
 
 CACHE_DIR ?= .study-cache
 
@@ -13,10 +13,17 @@ test:
 lint:
 	ruff check src tests
 
-# Determinism & stage-purity static analysis (rules DET001-DET003,
-# PUR001-PUR002); fails on findings not in .repro-lint-baseline.json.
+# Full static analysis (per-file DET001-DET003/PUR001-PUR002 plus the
+# call-graph-backed CONC001-CONC003/MRG001-MRG003 packs); fails on
+# findings not in .repro-lint-baseline.json.
 lint-repro:
 	PYTHONPATH=src python -m repro.cli lint src
+
+# Just the cross-module packs: shard-isolation race rules (CONC) and
+# telemetry merge-contract rules (MRG), with the shared-call-graph
+# timing line on stderr.
+lint-contracts:
+	PYTHONPATH=src python -m repro.cli lint src --select CONC,MRG --stats
 
 # Run the study on the staged execution engine; warm re-runs execute
 # zero stages.  Scale/parallelism: make study ARGS="--full --jobs 8".

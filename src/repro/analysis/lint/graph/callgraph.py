@@ -1,0 +1,411 @@
+"""Call-graph construction and reachability over the symbol table.
+
+Resolution is deliberately conservative — an edge is added only when the
+callee can be named with confidence — plus one pragmatic fallback that
+the serving runtime's factory indirection needs:
+
+1. **Bare names** resolve through the lexical scope chain (nested def,
+   enclosing function, module) and then the file's import aliases, so
+   ``from repro.score.core import extract_targets`` and
+   ``import repro.score.core as sc; sc.extract_targets`` both produce
+   the same edge.  Calling a project class adds an edge to its
+   ``__init__`` and types the assigned variable.
+2. **Attribute calls** resolve when the receiver's class is known:
+   ``self``/``cls``, a parameter annotated with a project class, a local
+   assigned from a constructor, or ``self.attr`` where ``__init__``
+   assigned a constructor to that attribute.  Method lookup walks base
+   classes, so a subclass call resolves to the inherited definition.
+3. **Unique-method fallback**: an attribute call whose receiver cannot
+   be typed still resolves when exactly one class in the project defines
+   a method with that name (``monitor.process_scored`` behind a factory
+   resolves to ``HarassmentMonitor.process_scored``).  Ambiguous names
+   produce no edge — missing edges make the race rules quieter, never
+   wrong about what they do flag.
+
+Bodies of nested ``def``s are analysed as their own graph nodes (with an
+edge from the encloser at the call site), so worker closures like the
+shard loop's ``offer``/``score`` helpers participate in reachability.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.lint.engine import FileContext
+from repro.analysis.lint.graph.symbols import (
+    ClassSymbol,
+    FunctionSymbol,
+    SymbolTable,
+    build_symbol_table,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class AttrAccess:
+    """One ``receiver.attr`` site inside a function body."""
+
+    attr: str
+    node: ast.Attribute
+    #: leftmost receiver name ("self", a local, a module-level binding)
+    receiver_root: str | None
+    #: resolved class qualname of the receiver, when typable
+    receiver_class: str | None
+    is_store: bool
+    #: the access is the callee of a Call (``receiver.attr(...)``)
+    is_call: bool
+
+
+@dataclasses.dataclass
+class FunctionInfo:
+    """Everything the rules need to know about one function body."""
+
+    symbol: FunctionSymbol
+    callees: tuple[str, ...] = ()
+    #: module-level mutable-container bindings referenced (name -> site)
+    global_refs: dict[str, ast.AST] = dataclasses.field(default_factory=dict)
+    #: module-level constructed instances referenced (name -> site)
+    global_instance_refs: dict[str, ast.AST] = dataclasses.field(
+        default_factory=dict
+    )
+    attr_accesses: tuple[AttrAccess, ...] = ()
+
+
+def _own_body(fn_node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs/classes."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(fn_node))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _local_bindings(fn_node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    args = fn_node.args
+    local = {
+        a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+    }
+    for extra in (args.vararg, args.kwarg):
+        if extra is not None:
+            local.add(extra.arg)
+    for node in _own_body(fn_node):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            local.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            local.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                if alias.name != "*":
+                    local.add(alias.asname or alias.name.partition(".")[0])
+    return local
+
+
+def _dotted(node: ast.expr) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class ProjectGraph:
+    """Symbol table + call edges + reachability queries."""
+
+    def __init__(self, table: SymbolTable) -> None:
+        self.table = table
+        self.infos: dict[str, FunctionInfo] = {}
+        self._build()
+
+    # -- name resolution ---------------------------------------------------
+
+    def _qualify(self, ctx: FileContext, module: str, dotted: str) -> str | None:
+        """Project qualname for a dotted reference written in ``module``."""
+        root, _, rest = dotted.partition(".")
+        target = ctx.imports.get(root)
+        if target is not None:
+            return f"{target}.{rest}" if rest else target
+        # Same-module reference.
+        return f"{module}.{dotted}"
+
+    def resolve_class(
+        self, ctx: FileContext, module: str, dotted: str | None
+    ) -> ClassSymbol | None:
+        if dotted is None:
+            return None
+        qualified = self._qualify(ctx, module, dotted)
+        if qualified is None:
+            return None
+        found = self.table.classes.get(qualified)
+        if found is not None:
+            return found
+        # An import may name the symbol through a re-exporting package
+        # (``from repro.serve import ServingRuntime``); fall back to the
+        # basename when exactly one project class carries it.
+        basename = dotted.rpartition(".")[2]
+        matches = [
+            self.table.classes[qualname]
+            for qualname in sorted(self.table.classes)
+            if self.table.classes[qualname].name == basename
+        ]
+        return matches[0] if len(matches) == 1 else None
+
+    def find_method(
+        self, cls: ClassSymbol, name: str
+    ) -> FunctionSymbol | None:
+        """Method lookup walking resolvable base classes (cycle-safe)."""
+        seen: set[str] = set()
+        queue = [cls]
+        while queue:
+            current = queue.pop(0)
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            method = current.methods.get(name)
+            if method is not None:
+                return method
+            for base in current.bases:
+                resolved = self.resolve_class(current.ctx, current.module, base)
+                if resolved is not None:
+                    queue.append(resolved)
+        return None
+
+    def has_method(self, cls: ClassSymbol, name: str) -> bool:
+        return self.find_method(cls, name) is not None
+
+    # -- construction ------------------------------------------------------
+
+    def _build(self) -> None:
+        for qualname in sorted(self.table.functions):
+            self.infos[qualname] = self._analyse(self.table.functions[qualname])
+
+    def _receiver_env(self, fn: FunctionSymbol) -> dict[str, ClassSymbol]:
+        """Local name -> class, from self/cls, annotations, constructors."""
+        env: dict[str, ClassSymbol] = {}
+        ctx, module = fn.ctx, fn.module
+        if fn.owner is not None:
+            env["self"] = fn.owner
+            env["cls"] = fn.owner
+        args = fn.node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            annotated = self.resolve_class(
+                ctx, module, _annotation_text(arg.annotation)
+            )
+            if annotated is not None:
+                env[arg.arg] = annotated
+        for node in _own_body(fn.node):
+            if not (isinstance(node, ast.Assign) and isinstance(node.value, ast.Call)):
+                continue
+            ctor = self.resolve_class(ctx, module, _dotted(node.value.func))
+            if ctor is None:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    env[target.id] = ctor
+        # A class used as a receiver names itself (``Cache.shared[...]``),
+        # whether defined in this module or imported from another.
+        mod = self.table.modules.get(module)
+        if mod is not None:
+            for name, cls in mod.classes.items():
+                env.setdefault(name, cls)
+        for alias, target in ctx.imports.items():
+            imported = self.table.classes.get(target)
+            if imported is not None:
+                env.setdefault(alias, imported)
+        return env
+
+    def _analyse(self, fn: FunctionSymbol) -> FunctionInfo:
+        ctx, module = fn.ctx, fn.module
+        mod = self.table.modules.get(module)
+        local = _local_bindings(fn.node)
+        env = self._receiver_env(fn)
+        callees: dict[str, None] = {}
+        global_refs: dict[str, ast.AST] = {}
+        instance_refs: dict[str, ast.AST] = {}
+        accesses: list[AttrAccess] = []
+        call_funcs = {
+            id(node.func)
+            for node in _own_body(fn.node)
+            if isinstance(node, ast.Call)
+        }
+        for node in _own_body(fn.node):
+            if isinstance(node, ast.Call):
+                callee = self._resolve_call(fn, node, local, env)
+                if callee is not None:
+                    callees[callee] = None
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                if node.id in local or mod is None:
+                    continue
+                if node.id in mod.mutable_globals:
+                    global_refs.setdefault(node.id, node)
+                if node.id in mod.global_instances:
+                    instance_refs.setdefault(node.id, node)
+            elif isinstance(node, ast.Attribute):
+                root_node = node.value
+                while isinstance(root_node, ast.Attribute):
+                    root_node = root_node.value
+                root = root_node.id if isinstance(root_node, ast.Name) else None
+                receiver_class: str | None = None
+                if isinstance(node.value, ast.Name):
+                    typed = env.get(node.value.id)
+                    if typed is not None:
+                        receiver_class = typed.qualname
+                elif (
+                    isinstance(node.value, ast.Attribute)
+                    and isinstance(node.value.value, ast.Name)
+                    and node.value.value.id == "self"
+                    and fn.owner is not None
+                ):
+                    ctor = fn.owner.instance_attr_types.get(node.value.attr)
+                    resolved = self.resolve_class(ctx, module, ctor)
+                    if resolved is not None:
+                        receiver_class = resolved.qualname
+                accesses.append(AttrAccess(
+                    attr=node.attr,
+                    node=node,
+                    receiver_root=root,
+                    receiver_class=receiver_class,
+                    is_store=isinstance(node.ctx, (ast.Store, ast.Del)),
+                    is_call=id(node) in call_funcs,
+                ))
+        return FunctionInfo(
+            symbol=fn,
+            callees=tuple(callees),
+            global_refs=global_refs,
+            global_instance_refs=instance_refs,
+            attr_accesses=tuple(accesses),
+        )
+
+    def _resolve_call(
+        self,
+        fn: FunctionSymbol,
+        node: ast.Call,
+        local: set[str],
+        env: dict[str, ClassSymbol],
+    ) -> str | None:
+        func = node.func
+        ctx, module = fn.ctx, fn.module
+        if isinstance(func, ast.Name):
+            name = func.id
+            # Lexical scope chain: nested def, enclosing function, module.
+            scope: FunctionSymbol | None = fn
+            while scope is not None:
+                candidate = f"{scope.qualname}.{name}"
+                if candidate in self.table.functions:
+                    return candidate
+                scope = scope.parent
+            if fn.owner is not None:
+                candidate = f"{fn.owner.qualname}.{name}"
+                if candidate in self.table.functions:
+                    return candidate
+            if name in local and name not in ctx.imports:
+                return None  # a local rebinding we cannot see through
+            qualified = self._qualify(ctx, module, name)
+            if qualified in self.table.functions:
+                return qualified
+            cls = self.table.classes.get(qualified) if qualified else None
+            if cls is None:
+                cls_by_name = self.resolve_class(ctx, module, name)
+                if cls_by_name is not None and name in ctx.imports:
+                    cls = cls_by_name
+            if cls is not None:
+                init = f"{cls.qualname}.__init__"
+                return init if init in self.table.functions else None
+            return None
+        if isinstance(func, ast.Attribute):
+            # Module-aliased call: ``queueing.BoundedQueue(...)``.
+            dotted = _dotted(func)
+            if dotted is not None:
+                qualified = self._qualify(ctx, module, dotted)
+                if qualified in self.table.functions:
+                    return qualified
+                cls = self.table.classes.get(qualified) if qualified else None
+                if cls is not None:
+                    init = f"{cls.qualname}.__init__"
+                    return init if init in self.table.functions else None
+            # Typed receiver.
+            receiver_cls: ClassSymbol | None = None
+            if isinstance(func.value, ast.Name):
+                receiver_cls = env.get(func.value.id)
+            elif (
+                isinstance(func.value, ast.Attribute)
+                and isinstance(func.value.value, ast.Name)
+                and func.value.value.id == "self"
+                and fn.owner is not None
+            ):
+                ctor = fn.owner.instance_attr_types.get(func.value.attr)
+                receiver_cls = self.resolve_class(ctx, module, ctor)
+            if receiver_cls is not None:
+                method = self.find_method(receiver_cls, func.attr)
+                if method is not None:
+                    return method.qualname
+                return None
+            # Unique-method fallback.
+            candidates = self.table.method_index.get(func.attr, ())
+            if len(candidates) == 1:
+                return candidates[0].qualname
+        return None
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def n_functions(self) -> int:
+        return len(self.infos)
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(info.callees) for info in self.infos.values())
+
+    def callees(self, qualname: str) -> tuple[str, ...]:
+        info = self.infos.get(qualname)
+        return info.callees if info is not None else ()
+
+    def entry_functions(self, suffixes: Sequence[str]) -> tuple[str, ...]:
+        """Functions whose qualname matches any dotted suffix."""
+        matches = [
+            qualname
+            for qualname in sorted(self.infos)
+            if any(
+                qualname == suffix or qualname.endswith("." + suffix)
+                for suffix in suffixes
+            )
+        ]
+        return tuple(matches)
+
+    def reachable_from(self, suffixes: Sequence[str]) -> frozenset[str]:
+        """Every function reachable (inclusive) from matching entries."""
+        seen: set[str] = set()
+        queue = list(self.entry_functions(suffixes))
+        while queue:
+            current = queue.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            queue.extend(self.callees(current))
+        return frozenset(seen)
+
+
+def _annotation_text(node: ast.expr | None) -> str | None:
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        return _dotted(node)
+    return None
+
+
+def build_graph(contexts: Iterable[FileContext]) -> ProjectGraph:
+    """Build the project call graph from already-parsed file contexts."""
+    return ProjectGraph(build_symbol_table(contexts))

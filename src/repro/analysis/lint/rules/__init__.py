@@ -1,9 +1,11 @@
 """The rule pack.
 
 Importing this package registers every rule with the engine's registry;
-:func:`repro.analysis.lint.engine.all_rules` does so lazily.
+:func:`repro.analysis.lint.engine.all_rules` does so lazily.  The
+``DET``/``PUR`` packs are per-file; ``CONC``/``MRG`` are project rules
+backed by the shared call graph in :mod:`repro.analysis.lint.graph`.
 """
 
-from repro.analysis.lint.rules import determinism, purity
+from repro.analysis.lint.rules import concurrency, contracts, determinism, purity
 
-__all__ = ["determinism", "purity"]
+__all__ = ["concurrency", "contracts", "determinism", "purity"]

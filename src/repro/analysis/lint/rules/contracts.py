@@ -1,0 +1,219 @@
+"""Telemetry merge-contract rules (MRG) backed by the project graph.
+
+Per-shard telemetry is folded back together with ``merge()``; the merged
+numbers are only trustworthy if every field participates.  PR 6 replaced
+a reflection-based ``QueueAccounting.merge()`` precisely because a
+hand-written merge had silently dropped a field — these rules check that
+bug class structurally, forever:
+
+- **MRG001** — a class defines ``merge()`` but some declared field
+  (dataclass annotation order, else ``self.x = ...`` order in
+  ``__init__``) is never referenced inside it: silent field loss on
+  shard merge.
+- **MRG002** — a field that ``merge()`` combines is neither a key in nor
+  referenced by ``as_dict()``: the merged value exists but is invisible
+  in every JSON snapshot and committed benchmark report.
+- **MRG003** — a mergeable class has no ``populate_metrics()``
+  projection, so the obs layer's metrics registry never sees it.
+
+Field-reference analysis is transitive through same-class methods and
+properties (``as_dict`` reporting ``self.mean`` counts as referencing
+the fields ``mean`` reads), and a call to ``dataclasses.fields`` /
+``asdict`` / ``vars`` inside a body marks every field referenced — the
+MonitorStats fields-loop idiom is contract-complete by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.lint.engine import Finding, ProjectRule, register
+from repro.analysis.lint.graph.symbols import ClassSymbol, FunctionSymbol
+
+if TYPE_CHECKING:
+    from repro.analysis.lint.engine import Project
+    from repro.analysis.lint.graph.callgraph import ProjectGraph
+
+#: Calls that enumerate every field reflectively; seeing one inside a
+#: body means "all fields referenced".
+_REFLECTIVE = ("fields", "asdict", "vars", "astuple")
+
+
+class _BodyFacts:
+    """Attr references, dict keys, and reflection flag for one method."""
+
+    def __init__(self) -> None:
+        self.attr_refs: set[str] = set()
+        self.dict_keys: set[str] = set()
+        self.reflective = False
+
+    def merge_from(self, other: "_BodyFacts") -> None:
+        self.attr_refs |= other.attr_refs
+        self.dict_keys |= other.dict_keys
+        self.reflective = self.reflective or other.reflective
+
+
+def _collect_body_facts(
+    graph: "ProjectGraph",
+    cls: ClassSymbol,
+    method: FunctionSymbol,
+    seen: set[str],
+) -> _BodyFacts:
+    """Facts for ``method``, expanded through same-class callees."""
+    facts = _BodyFacts()
+    if method.qualname in seen:
+        return facts
+    seen.add(method.qualname)
+    info = graph.infos.get(method.qualname)
+    if info is None:
+        return facts
+    for access in info.attr_accesses:
+        facts.attr_refs.add(access.attr)
+        # ``self.mean`` may be a property of the same class — expand it.
+        target = graph.find_method(cls, access.attr)
+        if target is not None:
+            facts.merge_from(_collect_body_facts(graph, cls, target, seen))
+    for node in ast.walk(method.node):
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if name in _REFLECTIVE:
+                facts.reflective = True
+            for keyword in node.keywords:
+                if keyword.arg is not None:
+                    facts.attr_refs.add(keyword.arg)
+            if name == "dict":
+                facts.dict_keys.update(
+                    kw.arg for kw in node.keywords if kw.arg is not None
+                )
+        elif isinstance(node, ast.Dict):
+            facts.dict_keys.update(
+                key.value
+                for key in node.keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, str)
+            )
+        elif isinstance(node, ast.Subscript):
+            if isinstance(node.slice, ast.Constant) and isinstance(
+                node.slice.value, str
+            ):
+                facts.dict_keys.add(node.slice.value)
+    for callee in info.callees:
+        fn = graph.table.functions.get(callee)
+        if fn is None or fn.owner is None or fn.name.startswith("__"):
+            # ``__init__`` is excluded on purpose: ``Cls()`` inside
+            # merge() initialises *defaults*, it does not combine the
+            # operands' fields — expanding through it would mask every
+            # dropped field in a plain (non-dataclass) merge.
+            continue
+        if (
+            fn.owner.qualname == cls.qualname
+            or graph.find_method(cls, fn.name) is fn
+        ):
+            facts.merge_from(_collect_body_facts(graph, cls, fn, seen))
+    return facts
+
+
+def _mergeable_classes(graph: "ProjectGraph") -> Iterator[ClassSymbol]:
+    """Classes that *define* (not inherit) a ``merge`` method."""
+    for qualname in sorted(graph.table.classes):
+        cls = graph.table.classes[qualname]
+        if "merge" in cls.methods:
+            yield cls
+
+
+@register
+class MergeDropsFields(ProjectRule):
+    id = "MRG001"
+    summary = "merge() does not reference every declared field"
+    hint = (
+        "combine every field explicitly (the QueueAccounting idiom) or loop "
+        "over dataclasses.fields(...) so new fields cannot be forgotten"
+    )
+
+    def check_project(self, project: "Project") -> Iterator[Finding]:
+        graph = project.graph
+        for cls in _mergeable_classes(graph):
+            if not cls.fields:
+                continue
+            facts = _collect_body_facts(
+                graph, cls, cls.methods["merge"], set()
+            )
+            if facts.reflective:
+                continue
+            missing = [f for f in cls.fields if f not in facts.attr_refs]
+            if missing:
+                yield cls.ctx.finding(
+                    self,
+                    cls.methods["merge"].node,
+                    f"{cls.name}.merge() never references field(s) "
+                    f"{', '.join(repr(f) for f in missing)}; merged shards "
+                    "would silently lose those values",
+                )
+
+
+@register
+class AsDictOmitsMergedFields(ProjectRule):
+    id = "MRG002"
+    summary = "as_dict() omits fields that merge() combines"
+    hint = (
+        "report every merged field in as_dict() (as a key or via a derived "
+        "value that reads it) so snapshots and benchmark reports see it"
+    )
+
+    def check_project(self, project: "Project") -> Iterator[Finding]:
+        graph = project.graph
+        for cls in _mergeable_classes(graph):
+            as_dict = cls.methods.get("as_dict")
+            if as_dict is None or not cls.fields:
+                continue
+            merge_facts = _collect_body_facts(
+                graph, cls, cls.methods["merge"], set()
+            )
+            combined = (
+                list(cls.fields)
+                if merge_facts.reflective
+                else [f for f in cls.fields if f in merge_facts.attr_refs]
+            )
+            dict_facts = _collect_body_facts(graph, cls, as_dict, set())
+            if dict_facts.reflective:
+                continue
+            hidden = [
+                f
+                for f in combined
+                if f not in dict_facts.dict_keys
+                and f not in dict_facts.attr_refs
+            ]
+            if hidden:
+                yield cls.ctx.finding(
+                    self,
+                    as_dict.node,
+                    f"{cls.name}.as_dict() omits merged field(s) "
+                    f"{', '.join(repr(f) for f in hidden)}; merge() combines "
+                    "them but no snapshot ever shows the result",
+                )
+
+
+@register
+class MergeableWithoutMetrics(ProjectRule):
+    id = "MRG003"
+    summary = "mergeable telemetry class has no populate_metrics()"
+    hint = (
+        "add populate_metrics(registry, prefix) projecting the class into "
+        "counter/gauge/histogram families so the obs layer can see it"
+    )
+
+    def check_project(self, project: "Project") -> Iterator[Finding]:
+        graph = project.graph
+        for cls in _mergeable_classes(graph):
+            if graph.find_method(cls, "populate_metrics") is None:
+                yield cls.ctx.finding(
+                    self,
+                    cls.node,
+                    f"{cls.name} defines merge() but no populate_metrics(); "
+                    "its telemetry is invisible to the metrics registry",
+                )

@@ -92,6 +92,37 @@ class ShardTelemetry:
         for wait in waits:
             self.queue_wait.record(wait)
 
+    def merge(self, other: "ShardTelemetry") -> "ShardTelemetry":
+        """Combine two ledgers for the same logical shard (pure).
+
+        This is the failover/rebalancing fold: when a replacement worker
+        takes over a shard mid-run, its partial ledger merges with the
+        original's.  Counts sum, the busy breakdown sums per component,
+        the time span widens to cover both operands, and the histograms
+        merge bucket-wise.  ``shard_id`` keeps the smaller id so a fold
+        over any operand order lands on the same value.
+        """
+        breakdown = dict(self.busy_breakdown)
+        for key in sorted(other.busy_breakdown):
+            breakdown[key] = breakdown.get(key, 0.0) + other.busy_breakdown[key]
+        return ShardTelemetry(
+            shard_id=min(self.shard_id, other.shard_id),
+            queue=self.queue.merge(other.queue),
+            monitor=self.monitor.merge(other.monitor),
+            batches=self.batches + other.batches,
+            messages_scored=self.messages_scored + other.messages_scored,
+            alerts_raised=self.alerts_raised + other.alerts_raised,
+            busy_seconds=self.busy_seconds + other.busy_seconds,
+            busy_breakdown=breakdown,
+            score_work=self.score_work.merge(other.score_work),
+            first_batch_start=min(
+                self.first_batch_start, other.first_batch_start
+            ),
+            last_batch_end=max(self.last_batch_end, other.last_batch_end),
+            service_time=self.service_time.merge(other.service_time),
+            queue_wait=self.queue_wait.merge(other.queue_wait),
+        )
+
     def as_dict(self) -> dict[str, object]:
         return {
             "shard_id": self.shard_id,
@@ -103,6 +134,12 @@ class ShardTelemetry:
             "busy_seconds": self.busy_seconds,
             "busy_breakdown": dict(self.busy_breakdown),
             "score_work": self.score_work.as_dict(),
+            # None (not inf/0.0 sentinels) for a shard that never ran a
+            # batch, so the JSON snapshot stays valid and unambiguous.
+            "first_batch_start": (
+                self.first_batch_start if self.batches else None
+            ),
+            "last_batch_end": self.last_batch_end if self.batches else None,
             "service_time": self.service_time.as_dict(),
             "queue_wait": self.queue_wait.as_dict(),
         }
@@ -142,6 +179,23 @@ class ServeTelemetry:
     """Fleet-wide aggregate of per-shard telemetry."""
 
     shards: list[ShardTelemetry]
+
+    def merge(self, other: "ServeTelemetry") -> "ServeTelemetry":
+        """Fleet union (pure): shards with the same id fold together.
+
+        Two partial fleet views — e.g. before and after a rebalancing
+        event migrated targets to replacement workers — combine into one
+        consistent view, shards ordered by id.
+        """
+        by_id: dict[int, ShardTelemetry] = {}
+        for shard in (*self.shards, *other.shards):
+            seen = by_id.get(shard.shard_id)
+            by_id[shard.shard_id] = (
+                shard if seen is None else seen.merge(shard)
+            )
+        return ServeTelemetry(
+            shards=[by_id[shard_id] for shard_id in sorted(by_id)]
+        )
 
     def merged_accounting(self) -> QueueAccounting:
         """Fleet queue ledger (counts sum, ``max_depth`` = worst shard)."""

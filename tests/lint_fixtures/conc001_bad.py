@@ -1,0 +1,20 @@
+"""CONC001 positive: shared mutable state on shard-worker call paths."""
+
+seen_targets = {}
+
+
+class ServingRuntime:
+    recent = []
+
+    def _run_shard(self, batch):
+        ServingRuntime.recent.append(batch)
+        record(batch)
+
+
+class HarassmentMonitor:
+    def process_scored(self, scored):
+        seen_targets[scored.target] = scored
+
+
+def record(batch):
+    seen_targets["last"] = batch

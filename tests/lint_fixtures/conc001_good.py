@@ -1,0 +1,19 @@
+"""CONC001 negative: shard state is per-instance; constants are frozen."""
+
+PLATFORM_NAMES = ("twitter", "reddit", "youtube")
+
+
+class ServingRuntime:
+    def __init__(self):
+        self.processed = []
+
+    def _run_shard(self, batch):
+        self.processed.append(batch)
+        return tally(batch)
+
+
+def tally(batch):
+    counts = {}
+    for item in batch:
+        counts[item] = counts.get(item, 0) + 1
+    return counts

@@ -1,0 +1,27 @@
+"""CONC002 positive: one shared tracer written by multiple worker entries."""
+
+
+class Tracer:
+    def span(self, name):
+        return name
+
+    def event(self, name):
+        return name
+
+
+GLOBAL_TRACER = Tracer()
+
+
+class ServingRuntime:
+    def _run_shard(self, batch):
+        GLOBAL_TRACER.event("batch")
+        score(batch)
+
+
+class HarassmentMonitor:
+    def process_scored(self, scored):
+        GLOBAL_TRACER.event("scored")
+
+
+def score(batch):
+    GLOBAL_TRACER.span("score")

@@ -1,0 +1,27 @@
+"""CONC002 negative: per-shard tracers, absorbed in shard-id order."""
+
+
+class Tracer:
+    def __init__(self):
+        self.records = []
+
+    def event(self, name):
+        self.records.append(name)
+
+    def absorb(self, other):
+        for record in other.records:
+            self.records.append(record)
+
+
+class ServingRuntime:
+    def __init__(self, n_shards):
+        self.tracers = [Tracer() for _ in range(n_shards)]
+
+    def _run_shard(self, shard_id, batch):
+        self.tracers[shard_id].event("batch")
+
+    def run(self):
+        main = Tracer()
+        for tracer in self.tracers:
+            main.absorb(tracer)
+        return main

@@ -1,0 +1,24 @@
+"""CONC003 positive: per-target monitor state reached from outside."""
+
+
+class HarassmentMonitor:
+    def __init__(self):
+        self._target_activity = {}
+        self._campaign_alerted_at = {}
+
+    def process_scored(self, scored):
+        self._target_activity[scored.target] = scored
+
+
+class Rebalancer:
+    def migrate(self, monitor: HarassmentMonitor, target):
+        activity = monitor._target_activity.pop(target)
+        monitor._campaign_alerted_at.pop(target, None)
+        return activity
+
+    def peek(self, monitor):
+        return monitor._target_activity
+
+
+def drain(monitor: HarassmentMonitor):
+    monitor._campaign_alerted_at.clear()

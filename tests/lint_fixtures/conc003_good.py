@@ -1,0 +1,17 @@
+"""CONC003 negative: outside callers go through the owner's methods."""
+
+
+class HarassmentMonitor:
+    def __init__(self):
+        self._target_activity = {}
+
+    def process_scored(self, scored):
+        self._target_activity[scored.target] = scored
+
+    def evict(self, target):
+        return self._target_activity.pop(target, None)
+
+
+class Rebalancer:
+    def migrate(self, monitor: HarassmentMonitor, target):
+        return monitor.evict(target)

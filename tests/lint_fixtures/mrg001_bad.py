@@ -1,0 +1,27 @@
+"""MRG001 positive: merge() silently drops declared fields."""
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class QueueLedger:
+    offered: int = 0
+    taken: int = 0
+    dropped: int = 0
+
+    def merge(self, other):
+        return QueueLedger(
+            offered=self.offered + other.offered,
+            taken=self.taken + other.taken,
+        )
+
+
+class ShardLedger:
+    def __init__(self):
+        self.batches = 0
+        self.alerts = 0
+
+    def merge(self, other):
+        merged = ShardLedger()
+        merged.batches = self.batches + other.batches
+        return merged

@@ -1,0 +1,41 @@
+"""MRG001 negative: explicit kwargs or a reflective fields loop."""
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class QueueLedger:
+    offered: int = 0
+    taken: int = 0
+    dropped: int = 0
+
+    def merge(self, other):
+        return QueueLedger(
+            offered=self.offered + other.offered,
+            taken=self.taken + other.taken,
+            dropped=self.dropped + other.dropped,
+        )
+
+    def as_dict(self):
+        return dataclasses.asdict(self)
+
+    def populate_metrics(self, registry):
+        registry.count("queue_offered", self.offered)
+
+
+@dataclasses.dataclass
+class ReflectiveLedger:
+    hits: int = 0
+    misses: int = 0
+
+    def merge(self, other):
+        return ReflectiveLedger(**{
+            field.name: getattr(self, field.name) + getattr(other, field.name)
+            for field in dataclasses.fields(ReflectiveLedger)
+        })
+
+    def as_dict(self):
+        return dataclasses.asdict(self)
+
+    def populate_metrics(self, registry):
+        registry.count("cache_hits", self.hits)

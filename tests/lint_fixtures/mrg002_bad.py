@@ -1,0 +1,39 @@
+"""MRG002 positive: as_dict() hides fields that merge() combines."""
+
+
+class SpanLedger:
+    def __init__(self):
+        self.spans = 0
+        self.open_spans = 0
+
+    def merge(self, other):
+        merged = SpanLedger()
+        merged.spans = self.spans + other.spans
+        merged.open_spans = self.open_spans + other.open_spans
+        return merged
+
+    def as_dict(self):
+        return {"spans": self.spans}
+
+    def populate_metrics(self, registry):
+        registry.count("spans", self.spans)
+
+
+class WaitLedger:
+    def __init__(self):
+        self.total_wait = 0.0
+        self.n_waits = 0
+
+    def merge(self, other):
+        merged = WaitLedger()
+        merged.total_wait = self.total_wait + other.total_wait
+        merged.n_waits = self.n_waits + other.n_waits
+        return merged
+
+    def as_dict(self):
+        data = {}
+        data["n_waits"] = self.n_waits
+        return data
+
+    def populate_metrics(self, registry):
+        registry.count("waits", self.n_waits)

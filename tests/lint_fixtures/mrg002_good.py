@@ -1,0 +1,29 @@
+"""MRG002 negative: every merged field surfaces in as_dict().
+
+``total_wait`` never appears as a key, but the ``mean_wait`` property
+reads it — a derived value in the snapshot counts as coverage.
+"""
+
+
+class WaitLedger:
+    def __init__(self):
+        self.total_wait = 0.0
+        self.n_waits = 0
+
+    def merge(self, other):
+        merged = WaitLedger()
+        merged.total_wait = self.total_wait + other.total_wait
+        merged.n_waits = self.n_waits + other.n_waits
+        return merged
+
+    @property
+    def mean_wait(self):
+        if self.n_waits == 0:
+            return 0.0
+        return self.total_wait / self.n_waits
+
+    def as_dict(self):
+        return {"n_waits": self.n_waits, "mean_wait": self.mean_wait}
+
+    def populate_metrics(self, registry):
+        registry.record("wait_seconds", self.total_wait)

@@ -1,0 +1,21 @@
+"""MRG003 positive: mergeable telemetry invisible to the obs layer."""
+
+
+class BatchLedger:
+    def __init__(self):
+        self.batches = 0
+
+    def merge(self, other):
+        merged = BatchLedger()
+        merged.batches = self.batches + other.batches
+        return merged
+
+
+class AlertLedger:
+    def __init__(self):
+        self.alerts = 0
+
+    def merge(self, other):
+        merged = AlertLedger()
+        merged.alerts = self.alerts + other.alerts
+        return merged

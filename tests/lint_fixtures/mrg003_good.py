@@ -1,0 +1,21 @@
+"""MRG003 negative: populate_metrics() defined, or inherited from a base."""
+
+
+class BatchLedger:
+    def __init__(self):
+        self.batches = 0
+
+    def merge(self, other):
+        merged = BatchLedger()
+        merged.batches = self.batches + other.batches
+        return merged
+
+    def populate_metrics(self, registry):
+        registry.count("batches", self.batches)
+
+
+class InheritingLedger(BatchLedger):
+    def merge(self, other):
+        merged = InheritingLedger()
+        merged.batches = self.batches + other.batches
+        return merged

@@ -21,12 +21,25 @@ from repro.cli import main
 
 def test_select_and_ignore_filter_rules():
     assert [r.id for r in select_rules()] == [
-        "DET001", "DET002", "DET003", "PUR001", "PUR002",
+        "CONC001", "CONC002", "CONC003",
+        "DET001", "DET002", "DET003",
+        "MRG001", "MRG002", "MRG003",
+        "PUR001", "PUR002",
     ]
     assert [r.id for r in select_rules(select=["DET002"])] == ["DET002"]
     assert [r.id for r in select_rules(ignore=["DET001", "PUR002"])] == [
-        "DET002", "DET003", "PUR001",
+        "CONC001", "CONC002", "CONC003", "DET002", "DET003",
+        "MRG001", "MRG002", "MRG003", "PUR001",
     ]
+
+
+def test_select_expands_family_prefixes():
+    assert [r.id for r in select_rules(select=["CONC", "MRG"])] == [
+        "CONC001", "CONC002", "CONC003", "MRG001", "MRG002", "MRG003",
+    ]
+    assert [r.id for r in select_rules(select=["DET"], ignore=["DET00"])] == []
+    with pytest.raises(LintUsageError, match="ZZZ"):
+        select_rules(select=["ZZZ"])
 
 
 def test_unknown_rule_id_is_a_usage_error():
@@ -220,6 +233,53 @@ def test_cli_select_ignore_and_bad_rule(tmp_path, capsys):
         "lint", str(victim), "--select", "BOGUS", "--baseline", baseline,
     ]) == 2
     assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_stats_reports_a_single_graph_build(tmp_path, capsys):
+    """--stats proves every graph rule shared one call-graph build."""
+    victim = tmp_path / "plain.py"
+    victim.write_text("def f():\n    return 1\n")
+    assert main([
+        "lint", str(victim), "--select", "CONC,MRG", "--stats",
+        "--baseline", str(tmp_path / "absent.json"),
+    ]) == 0
+    err = capsys.readouterr().err
+    assert "call graph: built 1x" in err
+    capsys.readouterr()
+    # With only per-file rules selected the graph is never constructed.
+    assert main([
+        "lint", str(victim), "--select", "DET", "--stats",
+        "--baseline", str(tmp_path / "absent.json"),
+    ]) == 0
+    assert "call graph: not built" in capsys.readouterr().err
+
+
+def test_cli_format_sarif_is_valid_and_parseable(tmp_path, capsys):
+    victim = tmp_path / "scratch.py"
+    victim.write_text("import numpy as np\nnp.random.seed(0)\n")
+    code = main([
+        "lint", str(victim), "--format", "sarif",
+        "--baseline", str(tmp_path / "absent.json"),
+    ])
+    assert code == 1
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+    run = log["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    assert [r["ruleId"] for r in run["results"]] == ["DET001"]
+    location = run["results"][0]["locations"][0]["physicalLocation"]
+    assert location["region"]["startLine"] == 2
+    assert [r["id"] for r in run["tool"]["driver"]["rules"]] == ["DET001"]
+    capsys.readouterr()
+    # --stats goes to stderr, so sarif stdout stays machine-parseable.
+    code = main([
+        "lint", str(victim), "--format", "sarif", "--stats",
+        "--baseline", str(tmp_path / "absent.json"),
+    ])
+    out, err = capsys.readouterr()
+    assert code == 1
+    json.loads(out)
+    assert err.startswith("lint:")
 
 
 def test_cli_gate_on_repo_matches_make_target(capsys):

