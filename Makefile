@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint lint-repro lint-contracts bench bench-tiny study cache-clean verify-cache test-recovery test-serve serve-bench score-bench test-obs obs-smoke experiments examples clean
+.PHONY: install test lint lint-repro lint-contracts bench bench-tiny study cache-clean verify-cache test-recovery test-serve test-ring serve-bench score-bench test-obs obs-smoke experiments examples clean
 
 CACHE_DIR ?= .study-cache
 
@@ -47,6 +47,11 @@ test-recovery:
 # overload/backpressure accounting, micro-batcher and telemetry units.
 test-serve:
 	PYTHONPATH=src python -m pytest tests/test_serve_runtime.py tests/test_serve_telemetry.py -q
+
+# Consistent-hash ring, rebalance schedules, hot-key splitting, and
+# shard failover: the elastic-serving equivalence suite.
+test-ring:
+	PYTHONPATH=src python -m pytest tests/test_serve_ring.py -q
 
 # Deterministic load benchmark of the sharded serving runtime; writes
 # benchmarks/reports/BENCH_serve.json.  Scale: make serve-bench

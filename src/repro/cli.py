@@ -287,7 +287,9 @@ def cmd_serve_bench(args) -> int:
 
     from repro.serve import (
         BackpressurePolicy,
+        KillSpec,
         LoadProfile,
+        RebalanceSchedule,
         ServeConfig,
         ServingRuntime,
         alert_sort_key,
@@ -312,6 +314,16 @@ def cmd_serve_bench(args) -> int:
         max_delay_seconds=args.max_delay_ms / 1000.0,
         queue_capacity=args.queue_capacity,
         policy=BackpressurePolicy(args.policy),
+        ring_vnodes=args.ring_vnodes,
+        hot_key_share=args.hot_key_share,
+    )
+    schedule = (
+        RebalanceSchedule.parse(args.rebalance_schedule)
+        if args.rebalance_schedule else None
+    )
+    kill = (
+        KillSpec.parse(args.kill_shard, args.kill_at)
+        if args.kill_shard else None
     )
     profile = LoadProfile(
         rate_per_second=args.rate,
@@ -326,7 +338,8 @@ def cmd_serve_bench(args) -> int:
         recorder = RunObserver("serve-bench")
     runtime = ServingRuntime(monitor_factory, config)
     result = runtime.serve_stream(
-        stream, profile, jobs=args.jobs, recorder=recorder
+        stream, profile, jobs=args.jobs, recorder=recorder,
+        schedule=schedule, kill=kill,
     )
     report = result.as_dict()
     report["load"] = {
@@ -356,6 +369,26 @@ def cmd_serve_bench(args) -> int:
         f"[policy={config.policy.value}, batch={config.batch_size}, "
         f"rate={profile.rate_per_second:g}/s]\n"
     )
+    if result.hot_keys:
+        shares = ", ".join(
+            f"{key} ({share:.1%})" for key, share in result.hot_keys.items()
+        )
+        print(f"hot keys split over salted sub-keys: {shares}")
+    for change in result.rebalances:
+        print(
+            f"rebalance at t={change['time']:.2f}s: "
+            f"{change['shards_before']} -> {change['shards_after']} "
+            f"({change['migrated_handles']} handles migrated)"
+        )
+    if result.failover:
+        print(
+            f"failover at t={result.failover['time']:.2f}s: killed shard "
+            f"{result.failover['killed_shard']}, requeued "
+            f"{result.failover['requeued_messages']} messages, migrated "
+            f"{result.failover['migrated_handles']} handles"
+        )
+    if result.hot_keys or result.rebalances or result.failover:
+        print()
     print(format_table(
         ("alert kind", "count"),
         sorted(result.alert_counts().items()) or [("(none)", 0)],
@@ -397,6 +430,7 @@ def cmd_serve_bench(args) -> int:
         f"{merged_service.quantile(0.5) * 1e3:.2f}/"
         f"{merged_service.quantile(0.95) * 1e3:.2f}/"
         f"{merged_service.quantile(0.99) * 1e3:.2f} ms; "
+        f"load skew (max/mean): {result.telemetry.load_skew:.3f}x; "
         f"unaccounted messages: {result.unaccounted}"
     )
     print(f"equivalence vs single monitor: {report['equivalence']}")
@@ -815,7 +849,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_args(p_serve)
     p_serve.add_argument(
         "--shards", type=_parse_jobs, default=4, dest="shards",
-        help="number of worker shards (stable target-handle routing)",
+        help="number of worker shards (consistent-hash ring routing)",
     )
     p_serve.add_argument(
         "--batch-size", type=_parse_jobs, default=64,
@@ -861,6 +895,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--check-equivalence", action="store_true",
         help="also run a single monitor and verify merged alerts match",
+    )
+    p_serve.add_argument(
+        "--rebalance-schedule", default=None, metavar="SPEC",
+        help="serve in epochs with ring resizes at each boundary: "
+        "comma-separated shard counts ('2,4,3'), or 'auto:N' for N "
+        "epochs of telemetry-planned rebalancing",
+    )
+    p_serve.add_argument(
+        "--kill-shard", default=None, metavar="SHARD",
+        help="kill one shard mid-run and fail its queue and target "
+        "state over to the survivors: a shard id, or 'hottest'",
+    )
+    p_serve.add_argument(
+        "--kill-at", type=float, default=0.5, metavar="FRACTION",
+        help="stream fraction at which --kill-shard fires (0 < f < 1)",
+    )
+    p_serve.add_argument(
+        "--hot-key-share", type=float, default=0.02,
+        help="traffic share at which a routing key is split over "
+        "salted sub-keys (0 disables hot-key splitting)",
+    )
+    p_serve.add_argument(
+        "--ring-vnodes", type=_parse_jobs, default=128,
+        help="virtual nodes per shard on the consistent-hash ring",
     )
     p_serve.add_argument(
         "--report", default="benchmarks/reports/BENCH_serve.json",

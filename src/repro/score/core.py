@@ -210,6 +210,66 @@ class ScoredBatch:
         """Taxonomy coding for message ``index`` (cached in the core)."""
         return self._core.code_text(self.messages[index].text, work=self.work)
 
+    def subset(self, indices: Sequence[int]) -> "ScoredBatch":
+        """Scored view of the selected messages, in ``indices`` order.
+
+        The work ledger and core are *shared* with the parent batch:
+        lazy extraction/coding triggered through the subset still bills
+        the batch the messages were scored in.  The serve runtime uses
+        this to peel hot-key messages out of a batch before the
+        stateful alerting pass (their state replay happens at
+        reunification instead).
+        """
+        return ScoredBatch(
+            messages=[self.messages[i] for i in indices],
+            features=(
+                self.features[list(indices)]
+                if self.features is not None else None
+            ),
+            cth_scores=self.cth_scores[list(indices)],
+            dox_scores=self.dox_scores[list(indices)],
+            work=self.work,
+            _extractions=[self._extractions[i] for i in indices],
+            _core=self._core,
+        )
+
+    @classmethod
+    def from_precomputed(
+        cls,
+        messages: Sequence["StreamMessage"],
+        cth_scores: Sequence[float],
+        dox_scores: Sequence[float],
+        extractions: Sequence[Extraction],
+        core: "ScoringCore",
+    ) -> "ScoredBatch":
+        """Rebuild a scored batch from stored scores and extractions.
+
+        The failover/hot-key reunification path stores ``(message,
+        scores, extraction)`` tuples while shards do the expensive
+        scoring, then replays them through a monitor's stateful pass —
+        no re-tokenization, no re-extraction.  ``features`` is ``None``
+        (the state path never reads it) and the fresh work ledger only
+        accumulates lazy taxonomy-coding done during the replay.
+        """
+        if not (
+            len(messages) == len(cth_scores) == len(dox_scores)
+            == len(extractions)
+        ):
+            raise ValueError(
+                "messages, scores, and extractions must align "
+                f"({len(messages)}/{len(cth_scores)}/{len(dox_scores)}"
+                f"/{len(extractions)})"
+            )
+        return cls(
+            messages=list(messages),
+            features=None,
+            cth_scores=np.asarray(cth_scores, dtype=float),
+            dox_scores=np.asarray(dox_scores, dtype=float),
+            work=ScoreWork(),
+            _extractions=list(extractions),
+            _core=core,
+        )
+
 
 class ScoringCore:
     """The shared text → (features, scores, extraction) engine.

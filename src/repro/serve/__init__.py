@@ -3,12 +3,18 @@
 The deployment the paper's release intent implies (§3, §9.2) has to
 score messages *online* at ingest rate.  This package turns the
 single-object :class:`repro.service.HarassmentMonitor` into a serving
-fleet: a stable router partitions the stream across shards (keyed on
-the primary target handle so campaign/escalation state stays
-shard-local), each shard consumes a bounded queue through a
-micro-batcher with configurable overload policies, and telemetry plus a
-deterministic open-loop load generator make latency, throughput, and
-shed/drop behaviour measurable without ever reading a wall clock.
+fleet: a consistent-hash ring (seeded virtual nodes) partitions the
+stream across shards (keyed on the primary target handle so
+campaign/escalation state stays shard-local), each shard consumes a
+bounded queue through a micro-batcher with configurable overload
+policies, and telemetry plus a deterministic open-loop load generator
+make latency, throughput, and shed/drop behaviour measurable without
+ever reading a wall clock.  The ring is elastic: a rebalance schedule
+(explicit or telemetry-planned) resizes the fleet at epoch boundaries
+with per-target monitor state migrating to the new owners, hot routing
+keys split over salted sub-keys (with a stream-order reunification
+replay for stateful alerts), and a mid-run shard kill fails queued work
+and serialized target state over to the survivors.
 
 ``repro serve-bench`` drives it from the CLI; the headline invariant —
 merged sharded alerts identical to single-monitor output — is asserted
@@ -22,6 +28,17 @@ from repro.serve.queueing import (
     BoundedQueue,
     QueueAccounting,
     QueuedMessage,
+)
+from repro.serve.ring import (
+    HashRing,
+    HotKeyPolicy,
+    KillSpec,
+    PlanKind,
+    RebalancePlan,
+    RebalancePlanner,
+    RebalanceSchedule,
+    detect_hot_keys,
+    salt_key,
 )
 from repro.serve.runtime import (
     ServeConfig,
@@ -42,11 +59,18 @@ __all__ = [
     "BackpressurePolicy",
     "BoundedQueue",
     "CostBreakdown",
+    "HashRing",
+    "HotKeyPolicy",
+    "KillSpec",
     "LatencyHistogram",
     "LoadProfile",
     "MicroBatcher",
+    "PlanKind",
     "QueueAccounting",
     "QueuedMessage",
+    "RebalancePlan",
+    "RebalancePlanner",
+    "RebalanceSchedule",
     "ServeConfig",
     "ServeResult",
     "ServeTelemetry",
@@ -54,7 +78,9 @@ __all__ = [
     "ServingRuntime",
     "ShardTelemetry",
     "alert_sort_key",
+    "detect_hot_keys",
     "generate_arrivals",
     "routing_key",
+    "salt_key",
     "shard_for",
 ]

@@ -4,11 +4,15 @@ Every message offered to a shard is accounted for exactly once:
 
 * ``admitted`` and eventually taken by the micro-batcher, or
 * ``shed`` — rejected at admission (``shed-newest``), or
-* ``dropped`` — evicted after admission to make room (``drop-oldest``).
+* ``dropped`` — evicted after admission to make room (``drop-oldest``), or
+* ``requeued`` — pulled back out of a dying shard's queue at failover
+  and re-offered to the surviving owners (each transfer shows up as a
+  fresh ``offered`` on the destination queue).
 
-``offered == taken + shed + dropped + len(queue)`` holds at every step,
-which is what lets the serve report prove "zero unaccounted messages"
-after a drain.  The ``block`` policy never loses a message: admission
+``offered == taken + shed + dropped + requeued + len(queue)`` holds at
+every step, which is what lets the serve report prove "zero unaccounted
+messages" after a drain — even when a rebalance or shard kill moves
+messages between queues mid-run.  The ``block`` policy never loses a message: admission
 always succeeds and the queue grows past ``capacity`` — modelling a
 producer that stalls upstream rather than discarding (the queue records
 how deep the backlog got via ``max_depth``).
@@ -43,6 +47,7 @@ class QueueAccounting:
     admitted: int = 0
     shed: int = 0
     dropped: int = 0
+    requeued: int = 0
     taken: int = 0
     max_depth: int = 0
 
@@ -50,9 +55,14 @@ class QueueAccounting:
     def unaccounted(self) -> int:
         """Messages neither in flight nor in any terminal bucket.
 
-        Zero after a drain; the serve report asserts this.
+        Zero after a drain; the serve report asserts this.  ``requeued``
+        is terminal *for this queue* — the destination queue accounts
+        for the message from its own ``offered`` onward.
         """
-        return self.offered - self.taken - self.shed - self.dropped
+        return (
+            self.offered - self.taken - self.shed - self.dropped
+            - self.requeued
+        )
 
     def merge(self, other: "QueueAccounting") -> "QueueAccounting":
         """Fleet-wise combination (neither operand is mutated).
@@ -66,6 +76,7 @@ class QueueAccounting:
             admitted=self.admitted + other.admitted,
             shed=self.shed + other.shed,
             dropped=self.dropped + other.dropped,
+            requeued=self.requeued + other.requeued,
             taken=self.taken + other.taken,
             max_depth=max(self.max_depth, other.max_depth),
         )
@@ -93,7 +104,9 @@ class QueueAccounting:
         outcomes = registry.counter(
             "queue_messages", help="messages per queue-accounting outcome"
         )
-        for outcome in ("offered", "admitted", "shed", "dropped", "taken"):
+        for outcome in (
+            "offered", "admitted", "shed", "dropped", "requeued", "taken"
+        ):
             outcomes.labels(outcome=outcome, **labels).inc(
                 getattr(self, outcome)
             )
@@ -156,3 +169,16 @@ class BoundedQueue:
     def drain(self) -> list[QueuedMessage]:
         """Dequeue everything (shutdown path)."""
         return self.take(len(self._items))
+
+    def requeue_drain(self) -> list[QueuedMessage]:
+        """Pull everything out for transfer to another queue (failover).
+
+        Unlike :meth:`drain`, the messages are *not* counted as taken —
+        they were never delivered to this shard's batcher.  They leave
+        through the ``requeued`` bucket and must be re-offered to the
+        queues of their new owners.
+        """
+        transferred = list(self._items)
+        self._items.clear()
+        self.accounting.requeued += len(transferred)
+        return transferred

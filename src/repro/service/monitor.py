@@ -30,7 +30,7 @@ from __future__ import annotations
 import collections
 import dataclasses
 import enum
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.score.core import ScoredBatch, ScoringCore, extract_targets
 from repro.service.stream import StreamMessage
@@ -54,6 +54,71 @@ def target_handles(text: str) -> tuple[list[str], dict[str, list[str]]]:
         list(extraction.handles),
         {category: list(values) for category, values in extraction.pii.items()},
     )
+
+
+@dataclasses.dataclass(frozen=True)
+class TargetStateSnapshot:
+    """Serialized per-target monitor state for failover and rebalancing.
+
+    Everything the alerting state machine knows about a set of target
+    handles — their detection windows, campaign-dedupe timestamps, and
+    last-CTH timestamps — plus the source monitor's watermark, in a
+    plain-tuple form that round-trips through JSON
+    (:meth:`as_dict` / :meth:`from_dict`).  The serving runtime moves
+    these between shard monitors when a ring change or shard kill
+    reassigns a target's owner, so no campaign or escalation alert is
+    lost across the migration.
+    """
+
+    watermark: float
+    #: handle -> ((timestamp, message_id), ...) detection window, both
+    #: levels sorted (handles lexically, detections by time then id)
+    activity: tuple[tuple[str, tuple[tuple[float, int], ...]], ...]
+    campaign_alerted_at: tuple[tuple[str, float], ...]
+    last_cth_at: tuple[tuple[str, float], ...]
+
+    @property
+    def empty(self) -> bool:
+        return not (
+            self.activity or self.campaign_alerted_at or self.last_cth_at
+        )
+
+    def handles(self) -> tuple[str, ...]:
+        """Sorted union of every handle the snapshot carries state for."""
+        return tuple(sorted(
+            {handle for handle, _ in self.activity}
+            | {handle for handle, _ in self.campaign_alerted_at}
+            | {handle for handle, _ in self.last_cth_at}
+        ))
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "watermark": self.watermark,
+            "activity": {
+                handle: [list(event) for event in events]
+                for handle, events in self.activity
+            },
+            "campaign_alerted_at": dict(self.campaign_alerted_at),
+            "last_cth_at": dict(self.last_cth_at),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "TargetStateSnapshot":
+        return cls(
+            watermark=float(data["watermark"]),
+            activity=tuple(sorted(
+                (handle, tuple((float(ts), int(mid)) for ts, mid in events))
+                for handle, events in data["activity"].items()
+            )),
+            campaign_alerted_at=tuple(sorted(
+                (handle, float(ts))
+                for handle, ts in data["campaign_alerted_at"].items()
+            )),
+            last_cth_at=tuple(sorted(
+                (handle, float(ts))
+                for handle, ts in data["last_cth_at"].items()
+            )),
+        )
 
 
 class AlertKind(enum.Enum):
@@ -200,6 +265,90 @@ class HarassmentMonitor:
                 return False, count
         self._campaign_alerted_at[handle] = message.timestamp
         return True, count
+
+    # -- state migration (failover / rebalancing) ------------------------------
+
+    def state_handles(self) -> tuple[str, ...]:
+        """Sorted handles this monitor currently holds any state for."""
+        return tuple(sorted(
+            self._target_activity.keys()
+            | self._campaign_alerted_at.keys()
+            | self._last_cth_for_target.keys()
+        ))
+
+    def snapshot_target_state(
+        self, handles: Iterable[str] | None = None
+    ) -> TargetStateSnapshot:
+        """Copy the per-target state for ``handles`` (default: all).
+
+        Pure read — the monitor keeps its state.  Use
+        :meth:`extract_target_state` for move semantics.
+        """
+        selected = sorted(handles) if handles is not None else list(
+            self.state_handles()
+        )
+        return TargetStateSnapshot(
+            watermark=self._watermark,
+            activity=tuple(
+                (handle, tuple(self._target_activity[handle]))
+                for handle in selected
+                if self._target_activity.get(handle)
+            ),
+            campaign_alerted_at=tuple(
+                (handle, self._campaign_alerted_at[handle])
+                for handle in selected
+                if handle in self._campaign_alerted_at
+            ),
+            last_cth_at=tuple(
+                (handle, self._last_cth_for_target[handle])
+                for handle in selected
+                if handle in self._last_cth_for_target
+            ),
+        )
+
+    def extract_target_state(
+        self, handles: Iterable[str]
+    ) -> TargetStateSnapshot:
+        """Snapshot ``handles`` and remove them from this monitor (move)."""
+        snapshot = self.snapshot_target_state(handles)
+        for handle in snapshot.handles():
+            self._target_activity.pop(handle, None)
+            self._campaign_alerted_at.pop(handle, None)
+            self._last_cth_for_target.pop(handle, None)
+        return snapshot
+
+    def restore_target_state(self, snapshot: TargetStateSnapshot) -> None:
+        """Fold a migrated snapshot into this monitor's state.
+
+        Detection windows merge-sort by ``(timestamp, message_id)`` and
+        the dedupe/escalation timestamps take the max, so restoring is
+        correct even when this monitor already holds partial state for a
+        handle (e.g. from non-primary mentions).  The watermark only
+        ever advances — eviction remains output-neutral.
+        """
+        for handle, events in snapshot.activity:
+            existing = self._target_activity.setdefault(
+                handle, collections.deque()
+            )
+            if existing:
+                merged = sorted(
+                    [*existing, *events], key=lambda event: (event[0], event[1])
+                )
+                existing.clear()
+                existing.extend(merged)
+            else:
+                existing.extend(events)
+        for table, entries in (
+            (self._campaign_alerted_at, snapshot.campaign_alerted_at),
+            (self._last_cth_for_target, snapshot.last_cth_at),
+        ):
+            for handle, timestamp in entries:
+                previous = table.get(handle)
+                table[handle] = (
+                    timestamp if previous is None
+                    else max(previous, timestamp)
+                )
+        self._watermark = max(self._watermark, snapshot.watermark)
 
     # -- public ----------------------------------------------------------------
 

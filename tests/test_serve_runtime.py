@@ -174,6 +174,20 @@ def test_routing_key_prefers_primary_handle():
     assert routing_key(benign) == "channel:gab:tea"
 
 
+def test_routing_key_channel_fallback_is_case_insensitive():
+    # Regression: handles are case-folded before routing, but the
+    # channel fallback used the raw channel string — 'News' and 'news'
+    # routed to different shards and split per-channel queue pressure.
+    variants = [
+        _msg(1, text="lovely weather", channel="News"),
+        _msg(2, text="lovely weather", channel="news"),
+        _msg(3, text="lovely weather", channel="NEWS"),
+    ]
+    keys = {routing_key(m) for m in variants}
+    assert keys == {"channel:gab:news"}
+    assert len({shard_for(m, 8) for m in variants}) == 1
+
+
 def test_same_target_always_lands_on_same_shard():
     messages = [_msg(i, text=CTH_TEXT, channel=f"chan{i}") for i in range(10)]
     for n_shards in (2, 3, 8):
@@ -323,6 +337,27 @@ def test_serve_config_validation():
         ServeConfig(queue_capacity=8, batch_size=16)
     with pytest.raises(ValueError):
         ServeConfig(max_delay_seconds=0.0)
+
+
+def test_serve_config_errors_name_the_offending_field():
+    # Regression: validation used to ride on a throwaway MicroBatcher,
+    # so a bad batch size surfaced as "MicroBatcher" with no pointer to
+    # the config field the caller actually set.
+    cases = {
+        "ServeConfig.n_shards": dict(n_shards=0),
+        "ServeConfig.batch_size": dict(batch_size=0),
+        "ServeConfig.max_delay_seconds": dict(max_delay_seconds=-1.0),
+        "ServeConfig.queue_capacity": dict(queue_capacity=0),
+        "ServeConfig.ring_vnodes": dict(ring_vnodes=0),
+        "ServeConfig.hot_key_share": dict(hot_key_share=1.5),
+        "ServeConfig.hot_key_fanout": dict(hot_key_fanout=1),
+        "ServeConfig.extraction_cache_size": dict(extraction_cache_size=0),
+    }
+    for field_name, kwargs in cases.items():
+        with pytest.raises(ValueError, match=field_name.replace(".", r"\.")):
+            ServeConfig(**kwargs)
+    with pytest.raises(ValueError, match=r"ServeConfig\.queue_capacity"):
+        ServeConfig(queue_capacity=8, batch_size=16)
 
 
 def test_run_rejects_bad_jobs():

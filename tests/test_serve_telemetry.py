@@ -247,6 +247,56 @@ def test_empty_fleet_telemetry():
     json.dumps(fleet.as_dict())
 
 
+def test_empty_fleet_merged_views_are_total():
+    # All-shards-failed: every merged_* accessor must stay well-defined
+    # on an empty shard list, not raise.
+    fleet = ServeTelemetry(shards=[])
+    assert fleet.merged_accounting().offered == 0
+    assert fleet.merged_service_time().count == 0
+    assert fleet.merged_queue_wait().count == 0
+    assert fleet.merged_monitor_stats().messages_processed == 0
+    assert fleet.merged_score_work().as_dict()
+    assert sum(fleet.merged_busy_breakdown().values()) == 0.0
+    assert fleet.load_skew == 0.0
+    assert fleet.messages_scored == 0
+    snapshot = fleet.as_dict()
+    assert snapshot["load_skew"] == 0.0
+    assert snapshot["per_shard"] == []
+
+
+def test_merged_fold_handles_empty_and_epochs():
+    assert ServeTelemetry.merged([]).as_dict() == ServeTelemetry(
+        shards=[]
+    ).as_dict()
+    # Epoch fold: same shard id on both sides merges into one ledger.
+    early, late = ShardTelemetry(shard_id=0), ShardTelemetry(shard_id=0)
+    early.record_batch(0.0, 1.0, waits=[0.1], n_alerts=0)
+    late.record_batch(2.0, 3.0, waits=[0.2, 0.3], n_alerts=1)
+    other = ShardTelemetry(shard_id=1)
+    other.record_batch(0.0, 0.5, waits=[0.0], n_alerts=0)
+    fold = ServeTelemetry.merged([
+        ServeTelemetry(shards=[early]),
+        ServeTelemetry(shards=[late, other]),
+    ])
+    assert [s.shard_id for s in fold.shards] == [0, 1]
+    assert fold.shards[0].messages_scored == 3
+    assert fold.messages_scored == 4
+
+
+def test_load_skew_is_max_over_mean():
+    a, b = ShardTelemetry(shard_id=0), ShardTelemetry(shard_id=1)
+    a.messages_scored = 30
+    b.messages_scored = 10
+    assert ServeTelemetry(shards=[a, b]).load_skew == pytest.approx(1.5)
+    balanced = ShardTelemetry(shard_id=2)
+    balanced.messages_scored = 30
+    assert ServeTelemetry(
+        shards=[a, balanced]
+    ).load_skew == pytest.approx(1.0)
+    idle = ShardTelemetry(shard_id=3)
+    assert ServeTelemetry(shards=[idle]).load_skew == 0.0
+
+
 # -- queue-accounting merge (MonitorStats idiom) -------------------------------
 
 def _acct(**kwargs):
@@ -298,7 +348,8 @@ def test_queue_accounting_populates_registry():
         for s in snapshot["queue_messages"]["series"]
     }
     assert outcomes == {
-        "offered": 4, "admitted": 3, "shed": 1, "dropped": 0, "taken": 3
+        "offered": 4, "admitted": 3, "shed": 1, "dropped": 0,
+        "requeued": 0, "taken": 3,
     }
     assert all(
         s["labels"]["shard"] == "2"
