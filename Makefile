@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test lint lint-repro lint-contracts bench bench-tiny study cache-clean verify-cache test-recovery test-serve test-ring serve-bench score-bench test-obs obs-smoke experiments examples clean
+.PHONY: install test lint lint-repro lint-contracts bench bench-tiny study cache-clean verify-cache test-recovery test-serve test-ring serve-bench score-bench test-obs obs-smoke test-gateway gateway-bench experiments examples clean
 
 CACHE_DIR ?= .study-cache
 
@@ -67,6 +67,22 @@ score-bench:
 	PYTHONPATH=src python -m repro.cli score-bench --tiny \
 		--report score-bench-report.json \
 		--baseline benchmarks/reports/BENCH_score.json $(ARGS)
+
+# Multi-tenant gateway suite: auth/admission conservation, token-bucket
+# edges, feed cursors, and the tenant-isolation invariant across shard
+# counts, rebalances, and kills.
+test-gateway:
+	PYTHONPATH=src python -m pytest tests/test_gateway.py tests/test_gateway_feeds.py -q
+
+# Multi-tenant gateway benchmark (per-tenant throughput, throttle rates,
+# feed latency, fairness/isolation); gated against the committed
+# baseline.  After an intentional change, refresh with:
+# PYTHONPATH=src python -m repro.cli gateway-bench --tiny (default
+# --report is the baseline path) and commit the result.
+gateway-bench:
+	PYTHONPATH=src python -m repro.cli gateway-bench --tiny \
+		--report gateway-bench-report.json \
+		--baseline benchmarks/reports/BENCH_gateway.json $(ARGS)
 
 # Observability suite: tracer/registry/exporter units plus the
 # cross-runtime byte-identical-trace and diff-gate integration tests.

@@ -45,6 +45,10 @@ WORKER_ENTRY_SUFFIXES: tuple[str, ...] = (
     "HarassmentMonitor.run",
     "Tracer.span",
     "Tracer.event",
+    # Gateway subsystem entry points: handle() fans the admitted stream
+    # out to shard workers, and feed drains run on consumer threads.
+    "Gateway.handle",
+    "AlertFeed.drain",
 )
 
 #: Constructors whose module-level instances count as shared observability

@@ -17,6 +17,9 @@ Subcommands::
     repro score-bench [--tiny/--full] [--seed N] [--batch-size N]
                     [--report FILE] [--baseline FILE] [--max-regression F]
                     [--trace-dir DIR]
+    repro gateway-bench [--tiny/--full] [--seed N] [--shards N] [--rate F]
+                    [--jobs N] [--report FILE] [--baseline FILE]
+                    [--max-regression F] [--trace-dir DIR]
     repro obs       report|trace DIR | diff BEFORE AFTER
                     [--max-regression F] [--limit N]
     repro train     --corpus corpus.jsonl --task dox|cth --out model.npz
@@ -42,8 +45,13 @@ alert/latency/throughput summary, and writes a machine-readable JSON
 report (deterministic — the simulation never reads a wall clock);
 ``score-bench`` isolates the shared scoring core (``repro.score``) and
 reports simulated messages/sec plus a per-component work ledger, with an
-optional ``--baseline`` regression gate for CI; ``--trace-dir`` on
-``study``/``serve-bench``/``score-bench`` additionally saves the run's
+optional ``--baseline`` regression gate for CI; ``gateway-bench`` drives
+the multi-tenant gateway (``repro.gateway``) through its canonical
+auth/quota/throttle overload mix, verifies per-tenant conservation and
+the tenant-isolation invariant, and gates against a committed baseline;
+``--trace-dir`` on
+``study``/``serve-bench``/``score-bench``/``gateway-bench``
+additionally saves the run's
 deterministic observability bundle (structured trace, Chrome trace-event
 export, labeled metrics snapshot, text dashboard), which ``obs``
 inspects (``report``/``trace``) and regression-gates run over run
@@ -538,6 +546,106 @@ def cmd_score_bench(args) -> int:
     return 0
 
 
+def cmd_gateway_bench(args) -> int:
+    import json
+
+    from repro.gateway import compare_gateway_reports, run_gateway_bench
+    from repro.service.monitor import HarassmentMonitor, MonitorConfig
+    from repro.types import Task
+    from repro.util.tables import format_table
+
+    models, vectorizer, stream = _serve_models(args)
+    monitor_config = MonitorConfig(
+        campaign_min_messages=args.campaign_min_messages
+    )
+
+    def monitor_factory():
+        return HarassmentMonitor(
+            models[Task.CTH], models[Task.DOX], vectorizer, monitor_config
+        )
+
+    recorder = None
+    if args.trace_dir:
+        from repro.obs import RunObserver
+
+        recorder = RunObserver("gateway-bench")
+    report, gateway, result = run_gateway_bench(
+        monitor_factory,
+        stream,
+        seed=args.seed,
+        shards=args.shards,
+        jobs=args.jobs,
+        rate=args.rate,
+        recorder=recorder,
+    )
+
+    fleet = report["fleet"]
+    print(
+        f"gateway served {fleet['admitted']:,}/{fleet['offered']:,} offered "
+        f"messages on {args.shards} shard(s) "
+        f"[rate={args.rate:g}/s, jobs={args.jobs}]\n"
+    )
+    rows = []
+    for tenant in sorted(report["tenants"]):
+        entry = report["tenants"][tenant]
+        admission = entry["admission"]
+        rows.append((
+            tenant + ("" if entry["registered"] else " (unregistered)"),
+            admission["offered"],
+            admission["admitted"],
+            admission["throttled_tenant"],
+            admission["throttled_fleet"],
+            admission["rejected_auth"],
+            admission["rejected_quota"],
+            entry["alerts"]["delivered"],
+            f"{entry['feed_latency']['p95_s'] * 1e3:.1f}",
+        ))
+    print(format_table(
+        ("tenant", "offered", "admitted", "thr(tenant)", "thr(fleet)",
+         "rej(auth)", "rej(quota)", "delivered", "p95 ms"),
+        rows,
+        title="Tenants",
+    ))
+    print()
+    print(
+        f"throughput: {fleet['throughput_per_second']:,.0f} msg/s over "
+        f"{fleet['makespan_seconds']:.2f}s simulated; load skew "
+        f"{fleet['load_skew']:.3f}x; fairness skew "
+        f"{fleet['fairness_skew']:.3f}; conservation "
+        f"{'ok' if fleet['conservation_ok'] else 'VIOLATED'}; "
+        f"isolation vs solo monitors: {report['isolation']}"
+    )
+
+    report_path = pathlib.Path(args.report)
+    report_path.parent.mkdir(parents=True, exist_ok=True)
+    report_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"report written to {report_path}")
+    if recorder is not None:
+        recorder.save(args.trace_dir)
+        print(f"trace dir written to {args.trace_dir}")
+
+    if not fleet["conservation_ok"] or report["isolation"] == "FAILED":
+        return 1
+    if args.baseline:
+        baseline_path = pathlib.Path(args.baseline)
+        if not baseline_path.exists():
+            print(f"error: baseline {baseline_path} not found", file=sys.stderr)
+            return 2
+        baseline = json.loads(baseline_path.read_text())
+        failures = compare_gateway_reports(
+            report, baseline, max_regression=args.max_regression
+        )
+        if failures:
+            for failure in failures:
+                print(f"GATE FAILED [{failure.check}]: {failure.detail}")
+            return 1
+        print(
+            f"gate ok vs {baseline_path} "
+            f"(tolerance {args.max_regression:.0%})"
+        )
+    return 0
+
+
 def cmd_obs(args) -> int:
     from repro.obs import DASHBOARD_FILE, diff_runs, load_run
     from repro.util.tables import format_table
@@ -960,6 +1068,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="save the deterministic observability bundle (repro obs) here",
     )
     p_score_bench.set_defaults(func=cmd_score_bench)
+
+    p_gateway = sub.add_parser(
+        "gateway-bench",
+        help="benchmark the multi-tenant gateway (auth, quotas, feeds)",
+    )
+    _add_scale_args(p_gateway)
+    p_gateway.add_argument(
+        "--shards", type=_parse_jobs, default=4,
+        help="number of worker shards behind the gateway",
+    )
+    p_gateway.add_argument(
+        "--rate", type=float, default=2000.0,
+        help="open-loop arrival rate (messages per simulated second)",
+    )
+    p_gateway.add_argument(
+        "--jobs", type=_parse_jobs, default=1,
+        help="simulate shards on a thread pool (identical results)",
+    )
+    p_gateway.add_argument(
+        "--epochs", type=int, default=5,
+        help="training epochs for the benchmark filter models",
+    )
+    p_gateway.add_argument(
+        "--campaign-min-messages", type=int, default=2,
+        help="campaign alert threshold for the benchmark monitors",
+    )
+    p_gateway.add_argument(
+        "--report", default="benchmarks/reports/BENCH_gateway.json",
+        help="write the deterministic JSON report here",
+    )
+    p_gateway.add_argument(
+        "--baseline", default=None,
+        help="compare against this committed report and fail on regression",
+    )
+    p_gateway.add_argument(
+        "--max-regression", type=float, default=0.02,
+        help="allowed fractional throughput drop vs the baseline",
+    )
+    p_gateway.add_argument(
+        "--trace-dir", default=None,
+        help="save the deterministic observability bundle (repro obs) here",
+    )
+    p_gateway.set_defaults(func=cmd_gateway_bench)
 
     p_obs = sub.add_parser(
         "obs", help="inspect and diff deterministic observability bundles"

@@ -1,0 +1,123 @@
+"""Per-tenant live alert feeds: bounded, drop-oldest, cursor-resumable.
+
+A feed is the delivery side of the gateway: alerts the tenant's
+preference layer passed are published in merged-stream order and held in
+a bounded buffer.  Slow consumers lose the *oldest* alerts first (a
+moderation feed wants the newest campaign activity, not a faithful
+archive), but never silently: every read reports exactly how many
+alerts were evicted inside the requested range as a ``gap``, and
+cursors are global monotone indices, so a resumed consumer can neither
+double-read an alert nor skip one without being told.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Deque
+
+from repro.service.monitor import Alert
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FeedPage:
+    """One read from a feed.
+
+    ``cursor`` is the position to pass to the next read (one past the
+    last returned alert).  ``gap`` counts alerts that existed in the
+    requested range but were evicted before this read — zero means the
+    page is contiguous with the requested cursor.
+    """
+
+    alerts: tuple[Alert, ...]
+    cursor: int
+    gap: int
+
+
+class AlertFeed:
+    """Bounded drop-oldest alert buffer with monotone global cursors."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"feed capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._buffer: Deque[tuple[int, Alert]] = collections.deque()
+        self._next_index = 0
+        self._evicted = 0
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def next_cursor(self) -> int:
+        """Index the next published alert will get (== total published)."""
+        return self._next_index
+
+    @property
+    def evicted(self) -> int:
+        """Total alerts dropped to keep the buffer bounded."""
+        return self._evicted
+
+    @property
+    def oldest_cursor(self) -> int:
+        """Cursor of the oldest alert still buffered (== next_cursor
+        when the buffer is empty)."""
+        if not self._buffer:
+            return self._next_index
+        return self._buffer[0][0]
+
+    def publish(self, alert: Alert) -> int:
+        """Append one alert; returns how many evictions it caused (0/1)."""
+        evictions = 0
+        if len(self._buffer) >= self.capacity:
+            self._buffer.popleft()
+            self._evicted += 1
+            evictions = 1
+        self._buffer.append((self._next_index, alert))
+        self._next_index += 1
+        return evictions
+
+    def read(self, cursor: int, limit: int | None = None) -> FeedPage:
+        """Read alerts at ``cursor`` onward, up to ``limit``.
+
+        A cursor pointing below the oldest buffered alert returns a
+        page whose ``gap`` is the number of evicted alerts in the
+        requested range — the deterministic "you missed N" marker.  A
+        cursor beyond the end of the published stream is a protocol
+        error (the consumer invented a position) and raises.
+        """
+        if cursor < 0:
+            raise ValueError(f"cursor must be >= 0, got {cursor}")
+        if cursor > self._next_index:
+            raise ValueError(
+                f"cursor {cursor} is past the end of the feed "
+                f"({self._next_index} alerts published)"
+            )
+        if limit is not None and limit < 0:
+            raise ValueError(f"limit must be >= 0, got {limit}")
+        start = self.oldest_cursor
+        gap = max(0, start - cursor)
+        effective = max(cursor, start)
+        picked: list[Alert] = []
+        for index, alert in self._buffer:
+            if index < effective:
+                continue
+            if limit is not None and len(picked) >= limit:
+                break
+            picked.append(alert)
+        return FeedPage(
+            alerts=tuple(picked), cursor=effective + len(picked), gap=gap
+        )
+
+    def drain(self, cursor: int) -> FeedPage:
+        """Read everything from ``cursor`` to the feed's end."""
+        return self.read(cursor, limit=None)
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "capacity": self.capacity,
+            "buffered": len(self._buffer),
+            "published": self._next_index,
+            "evicted": self._evicted,
+            "oldest_cursor": self.oldest_cursor,
+        }

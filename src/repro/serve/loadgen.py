@@ -7,13 +7,19 @@ messages' own content timestamps, which drive campaign windows, and
 independent of how fast the shards serve (open loop: overload cannot
 slow the generator down, which is exactly what makes backpressure
 policies measurable).  No wall clock anywhere.
+
+Multi-tenant mixes: ``LoadProfile.tenant_weights`` assigns each arrival
+a tenant id with a second seeded draw, so the gateway's quota, fairness,
+and isolation behaviour is drivable byte-for-byte from the same
+generator.  The tenant draw consumes its own RNG output *after* the gap
+draw, so adding tenants to a profile never changes the arrival times.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.service.stream import StreamMessage
 from repro.util.rng import make_rng
@@ -21,10 +27,16 @@ from repro.util.rng import make_rng
 
 @dataclasses.dataclass(frozen=True, slots=True)
 class Arrival:
-    """One message and the simulated ingest time it reaches the router."""
+    """One message and the simulated ingest time it reaches the router.
+
+    ``tenant`` is the gateway tenant streaming the message in (empty
+    outside multi-tenant runs); it is drawn deterministically from
+    :attr:`LoadProfile.tenant_weights`.
+    """
 
     time: float
     message: StreamMessage
+    tenant: str = ""
 
 
 @dataclasses.dataclass(frozen=True)
@@ -35,12 +47,20 @@ class LoadProfile:
     shape: after every ``burst_every`` Poisson arrivals, the next
     ``burst_size`` messages land simultaneously (a spike the queues must
     absorb or shed).  Zero disables bursts.
+
+    ``tenant_weights`` maps tenant id to its (relative) traffic weight;
+    ``None`` keeps the stream single-tenant.  Weights must be positive
+    and finite — a NaN weight would otherwise poison the seeded draw
+    silently (NaN compares false against every cumulative threshold),
+    the same failure mode the stream replay rejects for timestamps.
     """
 
     rate_per_second: float = 2000.0
     burst_every: int = 0
     burst_size: int = 0
     seed: int = 7
+    #: tenant id -> positive finite weight; normalized internally.
+    tenant_weights: tuple[tuple[str, float], ...] | None = None
 
     def __post_init__(self) -> None:
         if not (math.isfinite(self.rate_per_second) and self.rate_per_second > 0):
@@ -53,6 +73,37 @@ class LoadProfile:
             raise ValueError(
                 "burst_every and burst_size must be set together (or both 0)"
             )
+        if self.tenant_weights is not None:
+            weights = self.tenant_weights
+            if isinstance(weights, Mapping):
+                weights = tuple(weights.items())
+            # Canonical order: by tenant id, so the seeded draw is
+            # independent of the order the caller listed tenants in.
+            weights = tuple(sorted(weights))
+            if not weights:
+                raise ValueError(
+                    "tenant_weights must name at least one tenant (or be None)"
+                )
+            seen: set[str] = set()
+            for tenant, weight in weights:
+                if not tenant:
+                    raise ValueError("tenant ids must be non-empty strings")
+                if tenant in seen:
+                    raise ValueError(f"duplicate tenant id {tenant!r}")
+                seen.add(tenant)
+                if not (math.isfinite(weight) and weight > 0):
+                    raise ValueError(
+                        f"tenant {tenant!r} weight must be positive and "
+                        f"finite, got {weight!r}"
+                    )
+            object.__setattr__(self, "tenant_weights", weights)
+
+    def tenant_shares(self) -> dict[str, float]:
+        """Normalized tenant id -> expected traffic share (sums to 1)."""
+        if not self.tenant_weights:
+            return {}
+        total = sum(weight for _, weight in self.tenant_weights)
+        return {tenant: weight / total for tenant, weight in self.tenant_weights}
 
 
 def generate_arrivals(
@@ -62,7 +113,8 @@ def generate_arrivals(
 
     Message order is preserved exactly as the stream yields it (its
     timestamp order), so shard-equivalence is independent of the load
-    profile — the profile only decides *when* pressure hits the queues.
+    profile — the profile only decides *when* pressure hits the queues
+    and, for multi-tenant profiles, *whose* traffic each message is.
     """
     ordered: Sequence[StreamMessage] = list(messages)
     if not ordered:
@@ -76,9 +128,29 @@ def generate_arrivals(
         for index in range(len(ordered)):
             if index % period >= profile.burst_every:
                 gaps[index] = 0.0
+    tenants: list[str] | None = None
+    if profile.tenant_weights:
+        shares = profile.tenant_shares()
+        thresholds: list[tuple[float, str]] = []
+        cumulative = 0.0
+        for tenant in sorted(shares):
+            cumulative += shares[tenant]
+            thresholds.append((cumulative, tenant))
+        # The last threshold is 1.0 up to float error; pin it so a draw
+        # of ~1.0 can never fall off the end.
+        thresholds[-1] = (float("inf"), thresholds[-1][1])
+        draws = rng.random(size=len(ordered))
+        tenants = []
+        for draw in draws:
+            for threshold, tenant in thresholds:
+                if draw < threshold:
+                    tenants.append(tenant)
+                    break
     arrivals: list[Arrival] = []
     clock = 0.0
-    for message, gap in zip(ordered, gaps):
+    for index, (message, gap) in enumerate(zip(ordered, gaps)):
         clock += float(gap)
-        arrivals.append(Arrival(clock, message))
+        arrivals.append(Arrival(
+            clock, message, tenants[index] if tenants is not None else ""
+        ))
     return arrivals

@@ -63,6 +63,7 @@ from repro.service.monitor import (
     MonitorStats,
     TargetStateSnapshot,
     target_handles,
+    tenant_scope,
 )
 from repro.service.stream import StreamMessage
 from repro.serve.batching import FLUSH_DRAIN, MicroBatcher, ServiceCostModel
@@ -100,15 +101,24 @@ def routing_key(
     dedupe (PR 5), and ``channel:Twitter:News`` vs
     ``channel:twitter:news`` must likewise be one key, not two shards'
     worth of split campaign state.
+
+    A message carrying a gateway tenant id routes under the tenant's
+    scope prefix (:func:`repro.service.monitor.tenant_scope`) — the same
+    prefix the monitor keys its per-target state with, so migrated
+    state always lands where the tenant's traffic routes.  Two tenants
+    naming the same target are two keys, never one shared window.
     """
     if extraction is None:
         handles, _ = target_handles(message.text)
         primary = handles[0] if handles else None
     else:
         primary = extraction.primary_handle
+    scope = tenant_scope(message.tenant)
     if primary is not None:
-        return primary
-    return f"channel:{message.platform.value}:{message.channel.lower()}"
+        return scope + primary
+    return (
+        f"{scope}channel:{message.platform.value}:{message.channel.lower()}"
+    )
 
 
 @functools.lru_cache(maxsize=64)
@@ -144,6 +154,11 @@ class ServeConfig:
     hot_key_share: float = 0.02
     #: salted sub-keys a hot key fans out over
     hot_key_fanout: int = 8
+    #: capture per-message completion times (simulated batch-end) in
+    #: :attr:`ServeResult.completions`; off by default because it is
+    #: O(messages) memory the classic serve path never reads — the
+    #: gateway turns it on to measure alert-feed delivery latency
+    track_completions: bool = False
 
     def __post_init__(self) -> None:
         # Explicit per-field validation: a config error names the
@@ -200,6 +215,7 @@ class ServeConfig:
             "ring_vnodes": self.ring_vnodes,
             "hot_key_share": self.hot_key_share,
             "hot_key_fanout": self.hot_key_fanout,
+            "track_completions": self.track_completions,
         }
 
 
@@ -220,6 +236,11 @@ class ServeResult:
     failover: dict | None = None
     #: hot-key reunification replay summary, when any key was split
     reunify: dict | None = None
+    #: message_id -> simulated completion time (batch end, or reunify
+    #: end for deferred hot-key messages); populated only when
+    #: ``config.track_completions`` is set.  Per-message data, so it is
+    #: deliberately excluded from :meth:`as_dict` snapshots.
+    completions: dict[int, float] = dataclasses.field(default_factory=dict)
 
     @property
     def unaccounted(self) -> int:
@@ -308,6 +329,7 @@ class ServingRuntime:
         Tracer | None,
         list[_DeferredScore],
         list[QueuedMessage],
+        dict[int, float],
     ]:
         """Serve one epoch's arrivals on one shard.
 
@@ -332,6 +354,7 @@ class ServingRuntime:
         )
         alerts: list[Alert] = []
         deferred: list[_DeferredScore] = []
+        completions: dict[int, float] = {}
         server_free = 0.0
         index, total = 0, len(arrivals)
         # Monitors built by the factory own a ScoringCore; test doubles
@@ -405,6 +428,20 @@ class ServingRuntime:
             breakdown = config.cost.breakdown(work, n_alerts=len(raised))
             end = start + breakdown.total_seconds
             alerts.extend(raised)
+            if config.track_completions:
+                for q in batch:
+                    completions[q.message.message_id] = end
+            # Alert latency: enqueue -> batch end, per raised alert.
+            # Deferred hot-key alerts surface in the reunification pass
+            # and are deliberately absent from this histogram.
+            if raised:
+                enqueue_by_id = {
+                    q.message.message_id: q.enqueue_time for q in batch
+                }
+                for alert in raised:
+                    telemetry.alert_latency.record(
+                        end - enqueue_by_id[alert.message_id]
+                    )
             telemetry.record_batch(
                 start,
                 end,
@@ -493,7 +530,7 @@ class ServingRuntime:
             shard_span.close(first, max(server_free, first)).annotate(
                 batches=telemetry.batches
             )
-        return alerts, telemetry, tracer, deferred, leftovers
+        return alerts, telemetry, tracer, deferred, leftovers, completions
 
     # -- state migration ---------------------------------------------------
 
@@ -630,6 +667,7 @@ class ServingRuntime:
         routed_totals: dict[int, int] = {}
         epoch_telemetries: list[ServeTelemetry] = []
         merged: list[Alert] = []
+        completions_all: dict[int, float] = {}
         deferred_all: list[_DeferredScore] = []
         rebalance_log: list[dict] = []
         failover_info: dict | None = None
@@ -712,10 +750,20 @@ class ServingRuntime:
             leftovers: list[QueuedMessage] = []
             epoch_shards: list[ShardTelemetry] = []
             for shard_id, outcome in zip(live, outcomes):
-                shard_alerts, shard_telemetry, shard_tracer, shard_deferred, shard_left = outcome
+                (
+                    shard_alerts,
+                    shard_telemetry,
+                    shard_tracer,
+                    shard_deferred,
+                    shard_left,
+                    shard_completions,
+                ) = outcome
                 merged.extend(shard_alerts)
                 epoch_shards.append(shard_telemetry)
                 deferred_all.extend(shard_deferred)
+                # Shards route disjoint message ids, so updating in
+                # shard order is deterministic under jobs=N.
+                completions_all.update(shard_completions)
                 if shard_left:
                     leftovers = shard_left
                 if recorder is not None and shard_tracer is not None:
@@ -836,6 +884,14 @@ class ServingRuntime:
             state_seconds = (
                 config.cost.state_per_alert_seconds * len(replayed)
             )
+            if config.track_completions:
+                # Deferred messages complete only when the reunification
+                # replay does — after the last epoch ends.
+                reunify_end = (
+                    routed[-1].arrival.time if routed else 0.0
+                ) + state_seconds
+                for d in deferred_all:
+                    completions_all[d.message.message_id] = reunify_end
             reunify_report = {
                 "messages": len(deferred_all),
                 "alerts": len(replayed),
@@ -862,6 +918,7 @@ class ServingRuntime:
             rebalances=rebalance_log,
             failover=failover_info,
             reunify=reunify_report,
+            completions=completions_all,
         )
         if recorder is not None:
             routed_counter = recorder.metrics.counter(

@@ -67,6 +67,12 @@ class ShardTelemetry:
     queue_wait: LatencyHistogram = dataclasses.field(
         default_factory=LatencyHistogram
     )
+    #: per-alert simulated latency (enqueue -> batch end of the message
+    #: that raised it); alerts deferred to the hot-key reunification
+    #: pass are not shard work and are absent here
+    alert_latency: LatencyHistogram = dataclasses.field(
+        default_factory=LatencyHistogram
+    )
 
     def record_batch(
         self,
@@ -121,6 +127,7 @@ class ShardTelemetry:
             last_batch_end=max(self.last_batch_end, other.last_batch_end),
             service_time=self.service_time.merge(other.service_time),
             queue_wait=self.queue_wait.merge(other.queue_wait),
+            alert_latency=self.alert_latency.merge(other.alert_latency),
         )
 
     def as_dict(self) -> dict[str, object]:
@@ -142,6 +149,7 @@ class ShardTelemetry:
             "last_batch_end": self.last_batch_end if self.batches else None,
             "service_time": self.service_time.as_dict(),
             "queue_wait": self.queue_wait.as_dict(),
+            "alert_latency": self.alert_latency.as_dict(),
         }
 
     def populate_metrics(self, registry: MetricsRegistry) -> None:
@@ -172,6 +180,10 @@ class ShardTelemetry:
         registry.histogram(
             "queue_wait_seconds", help="per-message simulated queue wait"
         ).labels(**labels).merge_from(self.queue_wait)
+        registry.histogram(
+            "alert_latency_seconds",
+            help="per-alert simulated enqueue-to-batch-end latency",
+        ).labels(**labels).merge_from(self.alert_latency)
 
 
 @dataclasses.dataclass
@@ -229,6 +241,9 @@ class ServeTelemetry:
 
     def merged_queue_wait(self) -> LatencyHistogram:
         return merge_histograms(s.queue_wait for s in self.shards)
+
+    def merged_alert_latency(self) -> LatencyHistogram:
+        return merge_histograms(s.alert_latency for s in self.shards)
 
     def merged_monitor_stats(self) -> MonitorStats:
         """Fleet monitor totals: every shard plus the reunify pass.
@@ -305,6 +320,7 @@ class ServeTelemetry:
             "score_work": self.merged_score_work().as_dict(),
             "service_time": self.merged_service_time().as_dict(),
             "queue_wait": self.merged_queue_wait().as_dict(),
+            "alert_latency": self.merged_alert_latency().as_dict(),
             "per_shard": [s.as_dict() for s in self.shards],
         }
 

@@ -56,6 +56,19 @@ def target_handles(text: str) -> tuple[list[str], dict[str, list[str]]]:
     )
 
 
+def tenant_scope(tenant: str) -> str:
+    """State/routing key prefix isolating one tenant's per-target state.
+
+    The same prefix is used by the serve router
+    (:func:`repro.serve.runtime.routing_key`) and the monitor's state
+    tables, so a migrated :class:`TargetStateSnapshot` lands on exactly
+    the shard the tenant's traffic routes to.  Empty tenant — the
+    single-tenant deployments every pre-gateway caller runs — scopes to
+    the bare handle, unchanged.
+    """
+    return f"tenant:{tenant}|" if tenant else ""
+
+
 @dataclasses.dataclass(frozen=True)
 class TargetStateSnapshot:
     """Serialized per-target monitor state for failover and rebalancing.
@@ -232,7 +245,11 @@ class HarassmentMonitor:
         Every decision below only ever compares stored timestamps
         against ``now - window``, so anything older can never influence
         an alert again — evicting it bounds memory by the number of
-        *active* targets rather than by stream history.
+        *active* targets rather than by stream history.  This stays
+        output-neutral under multi-tenant mixing too: the stream is
+        globally timestamp-sorted, so every future message of *any*
+        tenant carries ``timestamp >= watermark``, and state older than
+        ``watermark - window`` is dead for all of them.
         """
         horizon = self._watermark - self.config.campaign_window_seconds
         for table in (self._campaign_alerted_at, self._last_cth_for_target):
@@ -372,6 +389,12 @@ class HarassmentMonitor:
                 continue
             extraction = scored.extraction(index)
             handles = extraction.handles
+            # Per-tenant isolation: the state tables key on the scoped
+            # handle, so tenants sharing a shard (or even a target) never
+            # read or advance each other's windows.  Alerts still carry
+            # the *bare* handle — a tenant's alert stream is byte-
+            # identical to running its traffic alone.
+            scope = tenant_scope(message.tenant)
             if is_cth:
                 self.stats.cth_detected += 1
                 subtypes = ", ".join(str(s) for s in scored.subtypes(index))
@@ -382,7 +405,7 @@ class HarassmentMonitor:
                     detail=subtypes,
                 ))
                 for handle in handles:
-                    self._last_cth_for_target[handle] = message.timestamp
+                    self._last_cth_for_target[scope + handle] = message.timestamp
             if is_dox:
                 self.stats.dox_detected += 1
                 alerts.append(Alert(
@@ -392,7 +415,7 @@ class HarassmentMonitor:
                     detail=f"pii: {', '.join(extraction.pii) or 'none'}",
                 ))
                 for handle in handles:
-                    last_cth = self._last_cth_for_target.get(handle)
+                    last_cth = self._last_cth_for_target.get(scope + handle)
                     if (
                         last_cth is not None
                         and 0 <= message.timestamp - last_cth
@@ -407,7 +430,9 @@ class HarassmentMonitor:
                         ))
                         break
             for handle in handles:
-                campaign, count = self._note_target_activity(handle, message)
+                campaign, count = self._note_target_activity(
+                    scope + handle, message
+                )
                 if campaign:
                     self.stats.campaigns_alerted += 1
                     alerts.append(Alert(

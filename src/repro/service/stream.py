@@ -20,7 +20,14 @@ from repro.util.batching import iter_batches
 
 @dataclasses.dataclass(frozen=True, slots=True)
 class StreamMessage:
-    """One message as the service sees it — no ground truth attached."""
+    """One message as the service sees it — no ground truth attached.
+
+    ``tenant`` identifies which gateway tenant streamed the message in
+    (empty for single-tenant deployments).  The serving layer folds it
+    into the shard-routing key and the monitor scopes its per-target
+    state by it, so one tenant's campaign/escalation state can never be
+    read or advanced by another tenant's traffic.
+    """
 
     message_id: int
     platform: Platform
@@ -29,6 +36,7 @@ class StreamMessage:
     author: str
     timestamp: float
     text: str
+    tenant: str = ""
 
     @classmethod
     def from_document(cls, doc: Document) -> "StreamMessage":

@@ -1,0 +1,173 @@
+"""Alert-feed cursor semantics: bounded, drop-oldest, never silent.
+
+The contract under test: cursors are global monotone indices; a slow
+consumer that resumes after evictions gets a deterministic ``gap``
+marker counting exactly the alerts it missed, and an alert is never
+delivered twice nor skipped without being counted in a gap.
+"""
+
+import pytest
+
+from repro.gateway import AlertFeed, FeedPage
+from repro.service.monitor import Alert, AlertKind
+
+
+def _alert(i):
+    return Alert(
+        kind=AlertKind.CTH, message_id=i, timestamp=float(i), score=0.9
+    )
+
+
+def _publish(feed, n, start=0):
+    return sum(feed.publish(_alert(i)) for i in range(start, start + n))
+
+
+# -- basic reads ---------------------------------------------------------------
+
+def test_empty_feed_reads_empty_page():
+    feed = AlertFeed(capacity=4)
+    page = feed.read(0)
+    assert page == FeedPage(alerts=(), cursor=0, gap=0)
+    assert feed.next_cursor == 0
+    assert feed.oldest_cursor == 0
+    assert len(feed) == 0
+
+
+def test_read_advances_cursor_without_duplicates():
+    feed = AlertFeed(capacity=10)
+    _publish(feed, 5)
+    first = feed.read(0, limit=2)
+    assert [a.message_id for a in first.alerts] == [0, 1]
+    assert first.cursor == 2
+    assert first.gap == 0
+    second = feed.read(first.cursor, limit=2)
+    assert [a.message_id for a in second.alerts] == [2, 3]
+    third = feed.read(second.cursor)
+    assert [a.message_id for a in third.alerts] == [4]
+    assert third.cursor == feed.next_cursor
+    # Reading at the end is legal and returns an empty contiguous page.
+    done = feed.read(third.cursor)
+    assert done.alerts == () and done.gap == 0
+
+
+def test_limit_zero_is_a_position_probe():
+    feed = AlertFeed(capacity=4)
+    _publish(feed, 3)
+    page = feed.read(1, limit=0)
+    assert page.alerts == ()
+    assert page.cursor == 1
+    assert page.gap == 0
+
+
+# -- eviction & gaps -----------------------------------------------------------
+
+def test_drop_oldest_keeps_newest_and_counts_evictions():
+    feed = AlertFeed(capacity=3)
+    evictions = _publish(feed, 7)
+    assert evictions == 4
+    assert feed.evicted == 4
+    assert len(feed) == 3
+    assert feed.oldest_cursor == 4
+    page = feed.read(0)
+    assert page.gap == 4
+    assert [a.message_id for a in page.alerts] == [4, 5, 6]
+    assert page.cursor == 7
+
+
+def test_resume_after_eviction_reports_exact_gap():
+    feed = AlertFeed(capacity=4)
+    _publish(feed, 4)
+    page = feed.read(0, limit=2)  # consumer saw 0,1; cursor=2
+    assert page.gap == 0
+    _publish(feed, 4, start=4)  # evicts 0..3; buffer now 4..7
+    resumed = feed.read(page.cursor)
+    # Alerts 2 and 3 existed in the requested range but were evicted.
+    assert resumed.gap == 2
+    assert [a.message_id for a in resumed.alerts] == [4, 5, 6, 7]
+    assert resumed.cursor == 8
+    # Accounting closes: everything published is either delivered to
+    # this consumer or counted in a gap it saw.
+    delivered = len(page.alerts) + len(resumed.alerts)
+    assert delivered + resumed.gap + page.gap == feed.next_cursor
+
+
+def test_gap_is_deterministic_and_rereadable():
+    feed = AlertFeed(capacity=2)
+    _publish(feed, 6)
+    once = feed.read(1)
+    again = feed.read(1)
+    assert once == again
+    assert once.gap == 3  # alerts 1, 2, 3 evicted; 4, 5 delivered
+    assert [a.message_id for a in once.alerts] == [4, 5]
+
+
+def test_gap_only_counts_requested_range():
+    feed = AlertFeed(capacity=2)
+    _publish(feed, 6)  # oldest_cursor == 4
+    # A consumer already past some of the evictions is only told about
+    # the ones inside its own range.
+    page = feed.read(3)
+    assert page.gap == 1
+    aligned = feed.read(4)
+    assert aligned.gap == 0
+    assert [a.message_id for a in aligned.alerts] == [4, 5]
+
+
+def test_no_alert_is_ever_skipped_silently():
+    """Sequential consumption accounts for every published index."""
+    feed = AlertFeed(capacity=5)
+    seen: list[int] = []
+    missed = 0
+    cursor = 0
+    for round_start in range(0, 40, 8):
+        _publish(feed, 8, start=round_start)
+        page = feed.read(cursor, limit=3)
+        seen.extend(a.message_id for a in page.alerts)
+        missed += page.gap
+        cursor = page.cursor
+    tail = feed.drain(cursor)
+    seen.extend(a.message_id for a in tail.alerts)
+    missed += tail.gap
+    assert len(seen) == len(set(seen))  # never duplicated
+    assert sorted(seen) == seen  # delivered in publish order
+    assert len(seen) + missed == feed.next_cursor  # never silently lost
+
+
+# -- drain ---------------------------------------------------------------------
+
+def test_drain_reads_to_end():
+    feed = AlertFeed(capacity=8)
+    _publish(feed, 6)
+    page = feed.drain(2)
+    assert [a.message_id for a in page.alerts] == [2, 3, 4, 5]
+    assert page.cursor == feed.next_cursor
+    assert feed.drain(page.cursor).alerts == ()
+
+
+# -- protocol errors -----------------------------------------------------------
+
+def test_invalid_cursors_and_limits_raise():
+    feed = AlertFeed(capacity=4)
+    _publish(feed, 2)
+    with pytest.raises(ValueError):
+        feed.read(-1)
+    with pytest.raises(ValueError):
+        feed.read(3)  # past the end: the consumer invented a position
+    with pytest.raises(ValueError):
+        feed.read(0, limit=-1)
+    with pytest.raises(ValueError):
+        AlertFeed(capacity=0)
+
+
+# -- snapshots -----------------------------------------------------------------
+
+def test_as_dict_snapshot():
+    feed = AlertFeed(capacity=3)
+    _publish(feed, 5)
+    assert feed.as_dict() == {
+        "capacity": 3,
+        "buffered": 3,
+        "published": 5,
+        "evicted": 2,
+        "oldest_cursor": 2,
+    }
